@@ -1,0 +1,107 @@
+// §5.2 dynamic-path DAG experiment + the paper's stated future work.
+//
+// Two studies:
+//  (1) the paper's measurement — the `da` app adapted so each request
+//      probabilistically takes either branch; mis-estimation raises PARD's
+//      drop rate relative to an oracle.
+//  (2) the future-work fix — `pard-path` (request-path prediction) estimates
+//      L_sub along the request's actual branch. To expose the estimation
+//      error, a DAG with *asymmetric* branches is used (one heavy, one
+//      light): the conservative max-over-paths over-drops light-branch
+//      requests, which prediction recovers.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pipeline/apps.h"
+
+using pard::bench::Pct;
+using pard::bench::StdConfig;
+
+namespace {
+
+// person_detection forks into a heavy two-module branch (object_detection ->
+// face_recognition) and a light single-module branch (icon_recognition);
+// the branches merge in expression_recognition. The conservative
+// max-over-paths estimate always assumes the heavy branch.
+pard::PipelineSpec AsymmetricDag() {
+  pard::ModuleSpec person;
+  person.id = 0;
+  person.model = "person_detection";
+  person.subs = {1, 3};
+  pard::ModuleSpec heavy_a;
+  heavy_a.id = 1;
+  heavy_a.model = "object_detection";
+  heavy_a.pres = {0};
+  heavy_a.subs = {2};
+  pard::ModuleSpec heavy_b;
+  heavy_b.id = 2;
+  heavy_b.model = "face_recognition";
+  heavy_b.pres = {1};
+  heavy_b.subs = {4};
+  pard::ModuleSpec light;
+  light.id = 3;
+  light.model = "icon_recognition";
+  light.pres = {0};
+  light.subs = {4};
+  pard::ModuleSpec merge;
+  merge.id = 4;
+  merge.model = "expression_recognition";
+  merge.pres = {2, 3};
+  merge.subs = {5};
+  pard::ModuleSpec sink;
+  sink.id = 5;
+  sink.model = "eye_tracking";
+  sink.pres = {4};
+  return pard::PipelineSpec("dax", pard::MsToUs(420),
+                            {person, heavy_a, heavy_b, light, merge, sink});
+}
+
+}  // namespace
+
+int main() {
+  pard::bench::Title("ext_dynamic_dag",
+                     "§5.2 dynamic-path DAG study + path-prediction future work");
+
+  pard::bench::Section("(1) paper's `da` app: static vs dynamic routing (PARD)");
+  std::printf("%-8s %18s %18s %18s\n", "trace", "pard (static)", "pard (dynamic)",
+              "pard-path (dyn)");
+  for (const std::string trace : {"wiki", "tweet", "azure"}) {
+    pard::ExperimentConfig stat = StdConfig("da", trace, "pard");
+    const auto r_static = pard::RunExperiment(stat);
+    pard::ExperimentConfig dyn = StdConfig("da", trace, "pard");
+    dyn.runtime.dynamic_paths = true;
+    const auto r_dynamic = pard::RunExperiment(dyn);
+    pard::ExperimentConfig predicted = StdConfig("da", trace, "pard-path");
+    predicted.runtime.dynamic_paths = true;
+    const auto r_predicted = pard::RunExperiment(predicted);
+    std::printf("%-8s %17.2f%% %17.2f%% %17.2f%%\n", trace.c_str(),
+                Pct(r_static.analysis->DropRate()), Pct(r_dynamic.analysis->DropRate()),
+                Pct(r_predicted.analysis->DropRate()));
+  }
+  std::printf("note: dynamic routing also halves branch load, which offsets the\n");
+  std::printf("mis-estimation penalty in this substrate; the estimation effect is\n");
+  std::printf("isolated with asymmetric branches below.\n");
+
+  pard::bench::Section("(2) asymmetric-branch DAG: conservative max vs path prediction");
+  std::printf("%-8s %18s %18s %14s\n", "trace", "pard (dynamic)", "pard-path (dyn)",
+              "pard/path");
+  for (const std::string trace : {"wiki", "tweet", "azure"}) {
+    pard::ExperimentConfig dyn = StdConfig("dax", trace, "pard");
+    dyn.custom_spec = AsymmetricDag();
+    dyn.runtime.dynamic_paths = true;
+    const auto plain = pard::RunExperiment(dyn);
+    pard::ExperimentConfig predicted = dyn;
+    predicted.policy = "pard-path";
+    const auto path = pard::RunExperiment(predicted);
+    const double dplain = plain.analysis->DropRate();
+    const double dpath = path.analysis->DropRate();
+    std::printf("%-8s %17.2f%% %17.2f%% %13.2fx\n", trace.c_str(), Pct(dplain), Pct(dpath),
+                dpath > 0 ? dplain / dpath : 0.0);
+  }
+  std::printf("\npaper: dynamic paths raise PARD's drop rate by 0.05x-0.21x due to\n");
+  std::printf("mis-estimation; request-path prediction (the paper's future work,\n");
+  std::printf("implemented as pard-path) recovers the gap.\n");
+  return 0;
+}

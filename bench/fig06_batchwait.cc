@@ -1,0 +1,60 @@
+// Figure 6: probability density / quantiles of aggregated batch wait time at
+// each position of a 4-module pipeline, and the lambda = 0.1 sweet-spot
+// table the paper derives from it:
+//   w1 = 0.31 sum(d) (4 modules), w2 = 0.28 (3), w3 = 0.22 (2), w4 = 0.10 (1).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/irwin_hall.h"
+#include "core/latency_estimator.h"
+#include "pipeline/apps.h"
+#include "runtime/state_board.h"
+
+int main() {
+  pard::bench::Title("fig06_batchwait", "Fig. 6 (aggregated batch-wait PDFs + quantile table)");
+
+  // 4 downstream modules with equal duration d, uniform-wait model (fixed
+  // batch sizes, as in the paper's figure).
+  const pard::Duration d = 10 * pard::kUsPerMs;
+  const pard::PipelineSpec lv = pard::MakeLiveVideo();
+  pard::StateBoard board(5);
+  for (int i = 0; i < 5; ++i) {
+    pard::ModuleState s;
+    s.module_id = i;
+    s.batch_duration = d;
+    board.Publish(std::move(s));
+  }
+  pard::EstimatorOptions options;
+  options.mc_samples = 50000;
+  pard::LatencyEstimator est(&lv, &board, options, pard::Rng(42));
+
+  pard::bench::Section("aggregated batch-wait distribution per module position");
+  const std::vector<std::vector<int>> paths = {{1, 2, 3, 4}, {2, 3, 4}, {3, 4}, {4}};
+  std::printf("%-8s %10s %10s %10s %14s %14s %12s\n", "module", "p10 (ms)", "p50 (ms)",
+              "p90 (ms)", "w_k=F^-1(0.1)", "as frac of sumd", "paper frac");
+  const double paper_fracs[] = {0.31, 0.28, 0.22, 0.10};
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto dist = est.AggregateWaitDistribution(paths[i]);
+    const double sum_d = static_cast<double>(d) * static_cast<double>(paths[i].size());
+    const pard::Duration wk = est.AggregateWaitQuantile(paths[i], 0.1);
+    std::printf("M%-7zu %10.2f %10.2f %10.2f %11.2fms %14.3f %12.2f\n", i + 1,
+                dist.Quantile(0.1) / 1000.0, dist.Quantile(0.5) / 1000.0,
+                dist.Quantile(0.9) / 1000.0, static_cast<double>(wk) / 1000.0,
+                static_cast<double>(wk) / sum_d, paper_fracs[i]);
+  }
+
+  pard::bench::Section("analytic Irwin-Hall reference");
+  for (int n = 1; n <= 4; ++n) {
+    std::printf("n=%d  F^-1(0.1)/n = %.3f\n", n, pard::IrwinHallQuantile(n, 0.1) / n);
+  }
+
+  pard::bench::Section("central-limit concentration (median -> sum d / 2 as depth grows)");
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto dist = est.AggregateWaitDistribution(paths[i]);
+    const double sum_d = static_cast<double>(d) * static_cast<double>(paths[i].size());
+    std::printf("depth %zu: median / sum d = %.3f\n", paths[i].size(),
+                dist.Quantile(0.5) / sum_d);
+  }
+  return 0;
+}

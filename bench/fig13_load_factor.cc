@@ -1,0 +1,123 @@
+// Figure 13: module load factor and the HBF/LBF prioritization transitions of
+// PARD (delayed transition) vs PARD-instant.
+//
+// The paper's panel shows a workload whose load factor oscillates around
+// mu = 1 for long stretches: the instant policy thrashes between HBF and LBF
+// on every fluctuation while the delayed policy (eps band from burstiness)
+// holds steady. This bench drives exactly that regime: fixed provisioning
+// and an offered rate that noisily crosses capacity.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/policy_factory.h"
+#include "bench/bench_util.h"
+#include "core/pard_policy.h"
+#include "metrics/analysis.h"
+#include "models/registry.h"
+#include "pipeline/apps.h"
+#include "runtime/batch_planner.h"
+#include "runtime/pipeline_runtime.h"
+#include "trace/arrival_generator.h"
+
+namespace {
+
+// Rate curve oscillating around `capacity` with noise, crossing mu = 1 many
+// times over the run.
+pard::RateFunction OscillatingRate(double capacity, double duration_s, std::uint64_t seed) {
+  pard::Rng rng(seed);
+  std::vector<pard::RateFunction::Point> points;
+  for (double t = 0.0; t <= duration_s; t += 2.0) {
+    // Gentle swing just past the hysteresis band plus strong short-term
+    // noise: the regime where mu crosses 1.0 on nearly every sync.
+    const double swing = 0.10 * std::sin(2.0 * M_PI * t / 60.0);
+    const double noise = rng.Normal(0.0, 0.16);
+    points.push_back({pard::SecToUs(t), std::max(1.0, capacity * (1.0 + swing + noise))});
+  }
+  return pard::RateFunction(std::move(points));
+}
+
+struct RunStats {
+  int transitions = 0;
+  double drop_rate = 0.0;
+  std::vector<pard::PardPolicy::TransitionSample> log;
+};
+
+RunStats RunOne(const std::string& policy_name, double capacity, double duration_s,
+                const std::vector<pard::SimTime>& arrivals, const pard::PipelineSpec& spec,
+                const std::vector<int>& workers) {
+  const auto policy = pard::MakePolicy(policy_name);
+  pard::RuntimeOptions options;
+  options.fixed_workers = workers;
+  pard::PipelineRuntime runtime(spec, options, policy.get(), capacity);
+  runtime.RunTrace(arrivals);
+  RunStats stats;
+  if (auto* pard_policy = dynamic_cast<pard::PardPolicy*>(policy.get())) {
+    for (const auto& t : pard_policy->transition_log()) {
+      if (t.module_id == 0) {
+        ++stats.transitions;
+        stats.log.push_back(t);
+      }
+    }
+  }
+  const pard::RunAnalysis analysis(runtime.requests(), spec);
+  stats.drop_rate = analysis.DropRate();
+  (void)duration_s;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  pard::bench::Title("fig13_load_factor",
+                     "Fig. 13 (load factor + HBF/LBF transitions, delayed vs instant)");
+
+  const pard::PipelineSpec spec = pard::MakeLiveVideo();
+  const std::vector<int> batches = pard::PlanBatchSizes(spec);
+  const std::vector<int> workers = pard::PlanWorkers(spec, batches, 400.0, 1.0, 32, 64);
+  // Module 0's actual capacity with the planned batch size.
+  const double capacity =
+      pard::ProfileRegistry::Get(spec.Module(0).model).Throughput(batches[0]) * workers[0];
+  const double duration_s = 240.0;
+  const pard::RateFunction rate = OscillatingRate(capacity, duration_s, 99);
+  pard::Rng rng(99);
+  const auto arrivals = pard::GenerateArrivals(rate, 0, pard::SecToUs(duration_s), rng);
+  std::printf("offered rate oscillates around capacity %.0f req/s for %.0f s "
+              "(mu crosses 1.0 repeatedly)\n",
+              capacity, duration_s);
+
+  const RunStats delayed = RunOne("pard", capacity, duration_s, arrivals, spec, workers);
+  const RunStats instant = RunOne("pard-instant", capacity, duration_s, arrivals, spec, workers);
+
+  std::printf("\n%-14s transitions %4d   drop rate %6.2f%%\n", "pard", delayed.transitions,
+              100.0 * delayed.drop_rate);
+  std::printf("%-14s transitions %4d   drop rate %6.2f%%\n", "pard-instant",
+              instant.transitions, 100.0 * instant.drop_rate);
+  std::printf("\ninstant/delayed transition ratio: %.1fx\n",
+              delayed.transitions > 0
+                  ? static_cast<double>(instant.transitions) / delayed.transitions
+                  : static_cast<double>(instant.transitions));
+
+  std::printf("\nmodule-0 transition timeline (pard, delayed):\n ");
+  for (const auto& t : delayed.log) {
+    std::printf(" [%.0fs mu=%.2f->%s]", pard::UsToSec(t.t), t.load_factor,
+                t.mode == pard::PriorityMode::kHbf ? "HBF" : "LBF");
+  }
+  std::printf("\nmodule-0 transition timeline (pard-instant, first 16):\n ");
+  int shown = 0;
+  for (const auto& t : instant.log) {
+    std::printf(" [%.0fs mu=%.2f->%s]", pard::UsToSec(t.t), t.load_factor,
+                t.mode == pard::PriorityMode::kHbf ? "HBF" : "LBF");
+    if (++shown >= 16) {
+      std::printf(" ...");
+      break;
+    }
+  }
+  std::printf("\n\npaper: PARD-instant flips between HBF and LBF on every fluctuation\n");
+  std::printf("around mu = 1 and drops ~25%% more requests; the delayed transition's\n");
+  std::printf("burstiness-scaled band keeps switching rare with the highest goodput.\n");
+  return 0;
+}

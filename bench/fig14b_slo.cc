@@ -1,0 +1,31 @@
+// Figure 14b: SLO sensitivity. Drop rate as the end-to-end SLO sweeps
+// 200-600 ms; all systems re-plan their batch sizes per SLO.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using pard::bench::Pct;
+using pard::bench::StdConfig;
+
+int main() {
+  pard::bench::Title("fig14b_slo", "Fig. 14b (drop rate vs SLO, 200-600 ms)");
+
+  std::printf("%-10s", "SLO (ms)");
+  for (const auto& sys : pard::bench::Systems()) {
+    std::printf(" %12s", sys.c_str());
+  }
+  std::printf("\n");
+  for (const double slo_ms : {200.0, 300.0, 400.0, 500.0, 600.0}) {
+    std::printf("%-10.0f", slo_ms);
+    for (const auto& sys : pard::bench::Systems()) {
+      pard::ExperimentConfig cfg = StdConfig("lv", "tweet", sys);
+      cfg.slo_override = pard::MsToUs(slo_ms);
+      const auto r = pard::RunExperiment(cfg);
+      std::printf(" %11.2f%%", Pct(r.analysis->DropRate()));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: PARD sustains the lowest drop rates (0.85%%-3.04%%) across SLOs,\n");
+  std::printf("1.9x-5.3x lower than the baselines.\n");
+  return 0;
+}

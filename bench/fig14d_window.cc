@@ -1,0 +1,31 @@
+// Figure 14d: sensitivity of the queue-delay sliding-window length. Drop
+// rate of PARD on the lv application across the three traces as the window
+// sweeps 1-15 s.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+using pard::bench::Pct;
+using pard::bench::StdConfig;
+
+int main() {
+  pard::bench::Title("fig14d_window", "Fig. 14d (drop rate vs sliding-window size)");
+
+  const double windows_s[] = {1.0, 2.0, 3.0, 4.0, 5.0, 7.5, 10.0, 15.0};
+  std::printf("%-12s %10s %10s %10s\n", "window (s)", "wiki", "tweet", "azure");
+  for (const double w : windows_s) {
+    std::printf("%-12.1f", w);
+    for (const std::string trace : {"wiki", "tweet", "azure"}) {
+      pard::ExperimentConfig cfg = StdConfig("lv", trace, "pard");
+      cfg.runtime.stats_window = pard::SecToUs(w);
+      const auto r = pard::RunExperiment(cfg);
+      std::printf(" %9.2f%%", Pct(r.analysis->DropRate()));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: the optimum is trace-dependent — bursty traces (tweet CV~1.0,\n");
+  std::printf("azure CV~1.3) favor 1-5 s windows, the stable wiki trace (CV~0.47)\n");
+  std::printf("favors 5-7 s; the 5 s default sits within 3.2%%-6.3%% of each optimum.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// §5.4 overhead analysis, as google-benchmark micro-benchmarks:
+//  - DEPQ put()/get() at various queue depths (paper: O(log n), <0.16%
+//    request latency)
+//  - batch-wait distribution update, O(M * N) with M = 10 000 samples
+//    (paper: asynchronous, no added request latency)
+//  - state synchronization payload construction (paper: <3.2 kbps/worker)
+//  - end-to-end Request Broker decision cost
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/latency_estimator.h"
+#include "jsonio/json.h"
+#include "pipeline/apps.h"
+#include "runtime/request.h"
+#include "runtime/request_queue.h"
+#include "runtime/state_board.h"
+#include "stats/minmax_heap.h"
+
+namespace pard {
+namespace {
+
+void BM_MinMaxHeapPush(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  Rng rng(1);
+  MinMaxHeap<std::int64_t> heap;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    heap.Push(rng.UniformInt(0, 1 << 20));
+  }
+  for (auto _ : state) {
+    heap.Push(rng.UniformInt(0, 1 << 20));
+    benchmark::DoNotOptimize(heap.PopMin());
+  }
+}
+BENCHMARK(BM_MinMaxHeapPush)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DepqPutGet(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  Rng rng(2);
+  RequestQueue queue;
+  std::vector<RequestPtr> pool;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    auto r = std::make_shared<Request>();
+    r->deadline = rng.UniformInt(0, 1 << 20);
+    queue.Push(r);
+    pool.push_back(std::move(r));
+  }
+  int flip = 0;
+  for (auto _ : state) {
+    auto r = std::make_shared<Request>();
+    r->deadline = rng.UniformInt(0, 1 << 20);
+    queue.Push(std::move(r));
+    // Alternate HBF/LBF pops, the adaptive-priority access pattern.
+    benchmark::DoNotOptimize(
+        queue.Pop(++flip % 2 == 0 ? PopSide::kMinBudget : PopSide::kMaxBudget));
+  }
+}
+BENCHMARK(BM_DepqPutGet)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BatchWaitDistributionUpdate(benchmark::State& state) {
+  // O(M(N-k+1)) with M = 10 000 reservoir samples across N = 5 modules.
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board(5);
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = 10 * kUsPerMs;
+    s.wait_samples.reserve(10000);
+    for (int j = 0; j < 10000; ++j) {
+      s.wait_samples.push_back(rng.Uniform(0.0, 10000.0));
+    }
+    board.Publish(std::move(s));
+  }
+  EstimatorOptions options;
+  options.mc_samples = static_cast<int>(state.range(0));
+  LatencyEstimator est(&lv, &board, options, Rng(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.AggregateWaitDistribution({1, 2, 3, 4}));
+  }
+}
+BENCHMARK(BM_BatchWaitDistributionUpdate)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_BrokerDecision(benchmark::State& state) {
+  // The cached per-admission path: one EstimateSubsequent per decision.
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board(5);
+  for (int i = 0; i < 5; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = 10 * kUsPerMs;
+    board.Publish(std::move(s));
+  }
+  EstimatorOptions options;
+  LatencyEstimator est(&lv, &board, options, Rng(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateSubsequent(0));
+  }
+}
+BENCHMARK(BM_BrokerDecision);
+
+void BM_StateSyncPayload(benchmark::State& state) {
+  // Serializes the compact module state the paper exchanges once per second
+  // (queueing delay, batch size, throughput, drop rate, wait distribution
+  // digest) and reports its size — the <3.2 kbps/worker claim.
+  for (auto _ : state) {
+    JsonObject payload;
+    payload["module_id"] = 3;
+    payload["avg_queue_delay_us"] = 1234.5;
+    payload["batch_size"] = 8;
+    payload["throughput"] = 212.4;
+    payload["drop_rate"] = 0.012;
+    JsonArray digest;
+    for (int i = 0; i < 16; ++i) {
+      digest.emplace_back(static_cast<std::int64_t>(i * 100));
+    }
+    payload["wait_digest_us"] = std::move(digest);
+    const std::string wire = JsonValue(std::move(payload)).Dump();
+    benchmark::DoNotOptimize(wire);
+    state.counters["payload_bytes"] =
+        benchmark::Counter(static_cast<double>(wire.size()));
+  }
+}
+BENCHMARK(BM_StateSyncPayload);
+
+}  // namespace
+}  // namespace pard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// DAG-style live video analysis (the paper's `da` app): person detection
+// fans out to pose + face branches that merge in expression recognition.
+// Demonstrates DAG latency estimation (max over paths), split/merge
+// semantics, and loading a pipeline from its JSON definition.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "pipeline/apps.h"
+#include "pipeline/pipeline_spec.h"
+
+int main() {
+  // Pipelines are defined via JSON (name, id, pres, subs), as in the paper.
+  const pard::PipelineSpec da = pard::MakeDagLiveVideo();
+  std::printf("Pipeline '%s' (SLO %.0f ms), defined as JSON:\n%s\n\n", da.app_name().c_str(),
+              pard::UsToMs(da.slo()), da.ToJson().Dump(2).c_str());
+
+  // Round-trip through the JSON loader to show the config path.
+  const pard::PipelineSpec loaded = pard::PipelineSpec::FromJsonText(da.ToJson().Dump());
+  std::printf("Reloaded pipeline has %d modules; downstream paths from the source:\n",
+              loaded.NumModules());
+  for (const auto& path : loaded.DownstreamPaths(loaded.SourceModule())) {
+    std::printf("  source ->");
+    for (int id : path) {
+      std::printf(" M%d", id + 1);
+    }
+    std::printf("\n");
+  }
+
+  pard::ExperimentConfig config;
+  config.app = "da";
+  config.trace = "tweet";
+  config.duration_s = 150.0;
+  config.base_rate = 120.0;
+
+  std::printf("\nServing `da` under a bursty trace:\n");
+  std::printf("%-12s %14s %14s\n", "policy", "drop rate", "invalid rate");
+  for (const char* policy : {"pard", "nexus", "clipper++"}) {
+    config.policy = policy;
+    const pard::ExperimentResult result = pard::RunExperiment(config);
+    std::printf("%-12s %13.2f%% %13.2f%%\n", policy, 100.0 * result.analysis->DropRate(),
+                100.0 * result.analysis->InvalidRate());
+  }
+  std::printf("\nA drop on one branch invalidates the sibling branch's work, so the\n");
+  std::printf("DAG invalid rate runs slightly above the chain pipelines (paper §5.2).\n");
+  return 0;
+}

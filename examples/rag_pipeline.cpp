@@ -1,0 +1,35 @@
+// RAG workflow case study (paper §7): proactive dropping generalizes beyond
+// DNN inference pipelines — here to a rewrite -> (retrieve || search) ->
+// generate workflow with a 5 s time-to-first-token SLO.
+#include <cstdio>
+
+#include "rag/rag_workflow.h"
+
+int main() {
+  pard::RagOptions options;
+  options.duration_s = 60.0;
+
+  std::printf("RAG workflow: rewrite -> (retrieve || search) -> generate, TTFT SLO %.1f s\n\n",
+              pard::UsToSec(options.ttft_slo));
+  std::printf("%-10s %14s %14s\n", "policy", "norm.goodput", "drop rate");
+  for (const pard::RagPolicy policy :
+       {pard::RagPolicy::kReactive, pard::RagPolicy::kProactive, pard::RagPolicy::kPredict}) {
+    const pard::RagResult result = pard::RunRagWorkflow(policy, options);
+    std::printf("%-10s %14.3f %13.1f%%\n", pard::RagPolicyName(policy).c_str(),
+                result.NormalizedGoodput(), 100.0 * result.DropRate());
+  }
+
+  const pard::RagResult detail = pard::RunRagWorkflow(pard::RagPolicy::kProactive, options);
+  std::printf("\nPer-stage latency (proactive), p50 / p90 / p99 in ms:\n");
+  for (const auto& stage : detail.stages) {
+    if (stage.latency.Empty()) {
+      continue;
+    }
+    std::printf("  %-9s %8.1f %8.1f %8.1f\n", stage.name.c_str(),
+                stage.latency.Quantile(0.50) / 1000.0, stage.latency.Quantile(0.90) / 1000.0,
+                stage.latency.Quantile(0.99) / 1000.0);
+  }
+  std::printf("\nsearch shows the long network tail; rewrite varies with output length —\n");
+  std::printf("the two estimation challenges §7 identifies for non-DNN pipelines.\n");
+  return 0;
+}

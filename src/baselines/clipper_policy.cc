@@ -1,0 +1,20 @@
+#include "baselines/clipper_policy.h"
+
+#include "runtime/batch_planner.h"
+
+namespace pard {
+
+void ClipperPlusPolicy::Bind(const PipelineSpec* spec, const StateBoard* board) {
+  DropPolicy::Bind(spec, board);
+  cumulative_budgets_ = CumulativeSplitBudgets(*spec, PlanBatchSizes(*spec));
+}
+
+bool ClipperPlusPolicy::ShouldDrop(const AdmissionContext& ctx) {
+  // Reactive: only the latency already accumulated counts. The request is
+  // dropped when it has burned past the cumulative budget through this
+  // module before inference even starts.
+  const Duration elapsed = ctx.now - ctx.request->sent;
+  return elapsed > cumulative_budgets_[static_cast<std::size_t>(ctx.module_id)];
+}
+
+}  // namespace pard

@@ -1,0 +1,39 @@
+// Clipper++ baseline (paper §5.1).
+//
+// Clipper serves single-model applications and drops a request only when it
+// has *already* exceeded the latency objective before inference. The paper
+// extends it to pipelines by splitting the end-to-end SLO proportionally to
+// module cost: SLO_k = SLO * d_k / sum d_i. At module k the request is
+// dropped iff its elapsed time at decision already exceeds the cumulative
+// split budget through module k — a purely reactive, arrival-order design.
+#ifndef PARD_BASELINES_CLIPPER_POLICY_H_
+#define PARD_BASELINES_CLIPPER_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/drop_policy.h"
+
+namespace pard {
+
+class ClipperPlusPolicy : public DropPolicy {
+ public:
+  void Bind(const PipelineSpec* spec, const StateBoard* board) override;
+
+  bool ShouldDrop(const AdmissionContext& ctx) override;
+
+  PopSide ChoosePopSide(int module_id, SimTime now) override {
+    (void)module_id;
+    (void)now;
+    return PopSide::kOldest;  // FIFO, like Clipper.
+  }
+
+  std::string Name() const override { return "clipper++"; }
+
+ private:
+  std::vector<Duration> cumulative_budgets_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_BASELINES_CLIPPER_POLICY_H_

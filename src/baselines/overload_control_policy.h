@@ -1,0 +1,76 @@
+// PARD-oc: DAGOR-style overload control (Table 1, from WeChat's microservice
+// overload controller).
+//
+// A module is overloaded when its recent average queueing delay exceeds a
+// threshold T. While any module is overloaded, the system sheds load: the
+// overloaded module itself (and the pipeline ingress, which it "notifies")
+// admits only (1 - alpha) of incoming requests, dropped probabilistically at
+// enqueue time. No per-request latency estimation is performed — the
+// coarse-grained design the paper contrasts with PARD in §5.3.
+#ifndef PARD_BASELINES_OVERLOAD_CONTROL_POLICY_H_
+#define PARD_BASELINES_OVERLOAD_CONTROL_POLICY_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "runtime/drop_policy.h"
+
+namespace pard {
+
+struct OverloadControlOptions {
+  // Queueing-delay threshold T (paper tunes 20-25 ms per trace).
+  Duration queue_threshold = 20 * kUsPerMs;
+  // Shed fraction alpha (paper: 0.4).
+  double alpha = 0.4;
+  std::uint64_t seed = 99;
+};
+
+class OverloadControlPolicy : public DropPolicy {
+ public:
+  explicit OverloadControlPolicy(OverloadControlOptions options = {})
+      : options_(options), rng_(Rng(options.seed).Fork("oc")) {}
+
+  bool ShouldDrop(const AdmissionContext& ctx) override {
+    (void)ctx;
+    return false;  // All shedding happens at admission.
+  }
+
+  bool AdmitAtModule(const Request& request, int module_id, SimTime now) override {
+    (void)request;
+    (void)now;
+    if (board_ == nullptr) {
+      return true;
+    }
+    const bool here_overloaded = Overloaded(module_id);
+    // Ingress sheds on behalf of any overloaded downstream module
+    // ("notifies preceding modules").
+    const bool ingress_shedding = module_id == spec_->SourceModule() && AnyOverloaded();
+    if (here_overloaded || ingress_shedding) {
+      return !rng_.Bernoulli(options_.alpha);
+    }
+    return true;
+  }
+
+  std::string Name() const override { return "pard-oc"; }
+
+ private:
+  bool Overloaded(int module_id) const {
+    return board_->Get(module_id).avg_queue_delay >
+           static_cast<double>(options_.queue_threshold);
+  }
+  bool AnyOverloaded() const {
+    for (int id = 0; id < board_->NumModules(); ++id) {
+      if (Overloaded(id)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  OverloadControlOptions options_;
+  Rng rng_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_BASELINES_OVERLOAD_CONTROL_POLICY_H_

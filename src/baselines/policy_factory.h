@@ -1,0 +1,36 @@
+// Policy factory: constructs any of the paper's systems or ablations by
+// name. The names match Table 1 and §5.1 exactly:
+//
+//   pard, nexus, clipper++, naive,
+//   pard-back, pard-sf, pard-oc, pard-split, pard-wcl,
+//   pard-lower, pard-upper, pard-fcfs, pard-hbf, pard-lbf, pard-instant
+#ifndef PARD_BASELINES_POLICY_FACTORY_H_
+#define PARD_BASELINES_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/drop_policy.h"
+
+namespace pard {
+
+struct PolicyParams {
+  double lambda = 0.1;                       // Batch-wait quantile.
+  Duration oc_threshold = 20 * kUsPerMs;     // PARD-oc queue threshold T.
+  double oc_alpha = 0.4;                     // PARD-oc shed fraction.
+  std::uint64_t seed = 1234;
+};
+
+// Throws CheckError for unknown names.
+std::unique_ptr<DropPolicy> MakePolicy(const std::string& name, const PolicyParams& params = {});
+
+// All policy names the factory accepts (Table 1 + primary systems).
+std::vector<std::string> AllPolicyNames();
+
+// The ablation subset used in Fig. 11 (everything but nexus/clipper++/naive).
+std::vector<std::string> AblationPolicyNames();
+
+}  // namespace pard
+
+#endif  // PARD_BASELINES_POLICY_FACTORY_H_

@@ -1,0 +1,53 @@
+// Lightweight runtime assertion macros.
+//
+// PARD_CHECK is always on (simulation correctness depends on invariants that
+// are cheap relative to event processing); failures throw so tests can assert
+// on them and tools get a stack-unwound error message instead of an abort.
+#ifndef PARD_COMMON_CHECK_H_
+#define PARD_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pard {
+
+// Thrown when a PARD_CHECK fails or an API contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pard
+
+#define PARD_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::pard::detail::CheckFail(#expr, __FILE__, __LINE__, "");     \
+    }                                                               \
+  } while (0)
+
+#define PARD_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream pard_check_os_;                            \
+      pard_check_os_ << msg;                                        \
+      ::pard::detail::CheckFail(#expr, __FILE__, __LINE__,          \
+                                pard_check_os_.str());              \
+    }                                                               \
+  } while (0)
+
+#endif  // PARD_COMMON_CHECK_H_

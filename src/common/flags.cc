@@ -1,0 +1,155 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace pard {
+
+void FlagSet::AddString(const std::string& name, const std::string& default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  f.default_text = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value, const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  f.default_text = StrFormat("%g", default_value);
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddInt(const std::string& name, std::int64_t default_value,
+                     const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  f.default_text = std::to_string(default_value);
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value, const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  f.default_text = default_value ? "true" : "false";
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::Set(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  PARD_CHECK_MSG(it != flags_.end(), "unknown flag: --" << name);
+  Flag& f = it->second;
+  switch (f.type) {
+    case Type::kString:
+      f.string_value = value;
+      break;
+    case Type::kDouble:
+      try {
+        std::size_t used = 0;
+        f.double_value = std::stod(value, &used);
+        PARD_CHECK_MSG(used == value.size(), "bad double for --" << name << ": " << value);
+      } catch (const std::logic_error&) {
+        PARD_CHECK_MSG(false, "bad double for --" << name << ": " << value);
+      }
+      break;
+    case Type::kInt:
+      try {
+        std::size_t used = 0;
+        f.int_value = std::stoll(value, &used);
+        PARD_CHECK_MSG(used == value.size(), "bad integer for --" << name << ": " << value);
+      } catch (const std::logic_error&) {
+        PARD_CHECK_MSG(false, "bad integer for --" << name << ": " << value);
+      }
+      break;
+    case Type::kBool: {
+      const std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        f.bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        f.bool_value = false;
+      } else {
+        PARD_CHECK_MSG(false, "bad bool for --" << name << ": " << value);
+      }
+      break;
+    }
+  }
+}
+
+void FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      Set(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    const auto it = flags_.find(body);
+    PARD_CHECK_MSG(it != flags_.end(), "unknown flag: --" << body);
+    if (it->second.type == Type::kBool) {
+      // Bare --flag means true unless the next token is an explicit value.
+      if (i + 1 < argc && (std::string(argv[i + 1]) == "true" ||
+                           std::string(argv[i + 1]) == "false")) {
+        Set(body, argv[++i]);
+      } else {
+        it->second.bool_value = true;
+      }
+    } else {
+      PARD_CHECK_MSG(i + 1 < argc, "flag --" << body << " expects a value");
+      Set(body, argv[++i]);
+    }
+  }
+}
+
+const FlagSet::Flag& FlagSet::Get(const std::string& name, Type type) const {
+  const auto it = flags_.find(name);
+  PARD_CHECK_MSG(it != flags_.end(), "flag not registered: --" << name);
+  PARD_CHECK_MSG(it->second.type == type, "flag type mismatch: --" << name);
+  return it->second;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Get(name, Type::kString).string_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Get(name, Type::kDouble).double_value;
+}
+
+std::int64_t FlagSet::GetInt(const std::string& name) const {
+  return Get(name, Type::kInt).int_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Get(name, Type::kBool).bool_value;
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_text << ")\n      " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pard

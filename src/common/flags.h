@@ -1,0 +1,61 @@
+// Tiny command-line flag parser for the pardsim tool and benches.
+//
+// Supports --name=value and --name value forms, plus bare --name for bools.
+// Unknown flags are an error; positional arguments are collected in order.
+#ifndef PARD_COMMON_FLAGS_H_
+#define PARD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pard {
+
+class FlagSet {
+ public:
+  // Registers flags with defaults and help text. Registration must precede
+  // Parse().
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double default_value, const std::string& help);
+  void AddInt(const std::string& name, std::int64_t default_value, const std::string& help);
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  // Parses argv (excluding argv[0]). Throws CheckError on unknown flags or
+  // malformed values. "--help" sets HelpRequested() instead of throwing.
+  void Parse(int argc, const char* const* argv);
+
+  const std::string& GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool HelpRequested() const { return help_requested_; }
+  // Renders the flag table for --help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kDouble, kInt, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    double double_value = 0.0;
+    std::int64_t int_value = 0;
+    bool bool_value = false;
+    std::string default_text;
+  };
+
+  const Flag& Get(const std::string& name, Type type) const;
+  void Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pard
+
+#endif  // PARD_COMMON_FLAGS_H_

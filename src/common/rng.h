@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the simulator flows from a single master seed
+// through named Fork()s, so experiments are reproducible bit-for-bit and two
+// policies evaluated on "the same workload" really see identical arrivals.
+//
+// The generator is xoshiro256++ seeded via SplitMix64 — fast, high quality,
+// and trivially embeddable (no <random> engine state-size or portability
+// surprises across standard libraries).
+#ifndef PARD_COMMON_RNG_H_
+#define PARD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pard {
+
+class Rng {
+ public:
+  // Seeds the generator. Equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent child stream. The child depends on both this
+  // generator's seed and `tag`, not on how many numbers were drawn, so
+  // adding a consumer never perturbs unrelated streams.
+  Rng Fork(std::string_view tag) const;
+
+  // Raw 64 uniform bits.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box–Muller (no cached spare; stateless per call pair).
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(Normal(mu, sigma)) where mu/sigma are in log space.
+  double LogNormal(double mu, double sigma);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::int64_t Poisson(double mean);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+// Small string helpers shared by the JSON layer, CLI benches and reports.
+#ifndef PARD_COMMON_STRING_UTIL_H_
+#define PARD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pard {
+
+// Splits on a single-character delimiter. Empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pard
+
+#endif  // PARD_COMMON_STRING_UTIL_H_

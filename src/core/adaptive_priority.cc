@@ -1,0 +1,29 @@
+#include "core/adaptive_priority.h"
+
+#include <algorithm>
+
+namespace pard {
+
+AdaptivePriority::AdaptivePriority(AdaptivePriorityOptions options)
+    : options_(options), mode_(options.initial) {}
+
+void AdaptivePriority::Update(double load_factor, double burstiness) {
+  double eps = std::clamp(burstiness, options_.min_epsilon, options_.max_epsilon);
+  if (!options_.delayed_transition) {
+    eps = 0.0;
+  }
+  const double th_hbf = 1.0 + eps;
+  const double th_lbf = 1.0 - eps;
+  PriorityMode next = mode_;
+  if (load_factor > th_hbf) {
+    next = PriorityMode::kHbf;
+  } else if (load_factor < th_lbf) {
+    next = PriorityMode::kLbf;
+  }
+  if (next != mode_) {
+    mode_ = next;
+    ++transitions_;
+  }
+}
+
+}  // namespace pard

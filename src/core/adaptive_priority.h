@@ -1,0 +1,53 @@
+// Adaptive request priority with delayed transition (paper §4.3).
+//
+// Each module orders its DEPQ by remaining latency budget. Under overload
+// (load factor mu > 1) PARD pops the *largest* budget first (HBF) so later
+// stages keep slack; under steady load it pops the *smallest* first (LBF) so
+// tight requests are not starved by batch-wait uncertainty. To avoid
+// thrashing near mu = 1, transitions are hysteretic: switch to HBF only when
+// mu > 1 + eps, to LBF only when mu < 1 - eps, where eps is the workload
+// burstiness sum|T_in - T_s| / sum T_in.
+#ifndef PARD_CORE_ADAPTIVE_PRIORITY_H_
+#define PARD_CORE_ADAPTIVE_PRIORITY_H_
+
+#include "runtime/request_queue.h"
+
+namespace pard {
+
+enum class PriorityMode {
+  kHbf,  // High Budget First.
+  kLbf,  // Low Budget First.
+};
+
+struct AdaptivePriorityOptions {
+  // false = PARD-instant ablation: thresholds collapse to mu = 1.
+  bool delayed_transition = true;
+  // Floor/ceiling on eps so a pathological burstiness estimate cannot pin
+  // the controller.
+  double min_epsilon = 0.0;
+  double max_epsilon = 0.5;
+  PriorityMode initial = PriorityMode::kLbf;
+};
+
+class AdaptivePriority {
+ public:
+  explicit AdaptivePriority(AdaptivePriorityOptions options = {});
+
+  // Feeds a fresh (mu, eps) sample from the State Planner sync.
+  void Update(double load_factor, double burstiness);
+
+  PriorityMode mode() const { return mode_; }
+  PopSide side() const {
+    return mode_ == PriorityMode::kHbf ? PopSide::kMaxBudget : PopSide::kMinBudget;
+  }
+  int transitions() const { return transitions_; }
+
+ private:
+  AdaptivePriorityOptions options_;
+  PriorityMode mode_;
+  int transitions_ = 0;
+};
+
+}  // namespace pard
+
+#endif  // PARD_CORE_ADAPTIVE_PRIORITY_H_

@@ -1,0 +1,51 @@
+#include "core/irwin_hall.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pard {
+
+double IrwinHallCdf(int n, double x) {
+  PARD_CHECK(n >= 1);
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= static_cast<double>(n)) {
+    return 1.0;
+  }
+  // F(x) = 1/n! * sum_{k=0..floor(x)} (-1)^k C(n,k) (x-k)^n
+  double sum = 0.0;
+  double binom = 1.0;  // C(n, 0)
+  double sign = 1.0;
+  const int kmax = static_cast<int>(std::floor(x));
+  for (int k = 0; k <= kmax; ++k) {
+    sum += sign * binom * std::pow(x - k, n);
+    sign = -sign;
+    binom = binom * static_cast<double>(n - k) / static_cast<double>(k + 1);
+  }
+  double factorial = 1.0;
+  for (int i = 2; i <= n; ++i) {
+    factorial *= i;
+  }
+  return std::clamp(sum / factorial, 0.0, 1.0);
+}
+
+double IrwinHallQuantile(int n, double q) {
+  PARD_CHECK(n >= 1);
+  q = std::clamp(q, 0.0, 1.0);
+  double lo = 0.0;
+  double hi = static_cast<double>(n);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (IrwinHallCdf(n, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pard

@@ -1,0 +1,25 @@
+// Irwin–Hall distribution (sum of n independent U[0,1] variables).
+//
+// When a module has not yet observed batch-wait samples, the aggregated
+// batch-wait distribution of the n downstream modules is modeled as a sum of
+// independent uniforms on [0, d_i] (the paper's Fig. 6 model); for equal d
+// this is a scaled Irwin–Hall. The analytic quantile is the reference the
+// Monte-Carlo estimator is tested against, and reproduces the paper's worked
+// example: at lambda = 0.1,
+//   n=4 -> 0.311*sum(d), n=3 -> 0.281*sum(d), n=2 -> 0.224*sum(d),
+//   n=1 -> 0.100*sum(d).
+#ifndef PARD_CORE_IRWIN_HALL_H_
+#define PARD_CORE_IRWIN_HALL_H_
+
+namespace pard {
+
+// CDF of the Irwin–Hall distribution at x in [0, n].
+double IrwinHallCdf(int n, double x);
+
+// Quantile: the x with IrwinHallCdf(n, x) == q, via bisection.
+// q is clamped to [0, 1].
+double IrwinHallQuantile(int n, double q);
+
+}  // namespace pard
+
+#endif  // PARD_CORE_IRWIN_HALL_H_

@@ -1,0 +1,134 @@
+#include "core/latency_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pard {
+
+LatencyEstimator::LatencyEstimator(const PipelineSpec* spec, const StateBoard* board,
+                                   EstimatorOptions options, Rng rng)
+    : spec_(spec), board_(board), options_(options), rng_(rng) {
+  PARD_CHECK(spec_ != nullptr);
+  PARD_CHECK(board_ != nullptr);
+  PARD_CHECK(options_.lambda >= 0.0 && options_.lambda <= 1.0);
+  PARD_CHECK(options_.mc_samples > 0);
+  cache_.resize(static_cast<std::size_t>(spec_->NumModules()));
+}
+
+EmpiricalDistribution LatencyEstimator::AggregateWaitDistribution(const std::vector<int>& path) {
+  std::vector<double> sums(static_cast<std::size_t>(options_.mc_samples), 0.0);
+  for (int id : path) {
+    const ModuleState& state = board_->Get(id);
+    if (state.wait_samples.empty()) {
+      // Uniform [0, d_i] fallback (the Fig. 3b model).
+      const double d = static_cast<double>(state.batch_duration);
+      for (double& s : sums) {
+        s += rng_.Uniform(0.0, d);
+      }
+    } else {
+      const auto n = static_cast<std::int64_t>(state.wait_samples.size());
+      for (double& s : sums) {
+        s += state.wait_samples[static_cast<std::size_t>(rng_.UniformInt(0, n - 1))];
+      }
+    }
+  }
+  return EmpiricalDistribution(std::move(sums));
+}
+
+Duration LatencyEstimator::AggregateWaitQuantile(const std::vector<int>& path, double lambda) {
+  if (path.empty()) {
+    return 0;
+  }
+  switch (options_.wait_mode) {
+    case EstimatorOptions::WaitMode::kLower:
+      return 0;
+    case EstimatorOptions::WaitMode::kUpper: {
+      Duration total = 0;
+      for (int id : path) {
+        total += board_->Get(id).batch_duration;
+      }
+      return total;
+    }
+    case EstimatorOptions::WaitMode::kSweetSpot:
+      break;
+  }
+  const EmpiricalDistribution dist = AggregateWaitDistribution(path);
+  return static_cast<Duration>(std::llround(dist.Quantile(lambda)));
+}
+
+Duration LatencyEstimator::EstimatePath(const std::vector<int>& path) {
+  Duration estimate = 0;
+  if (options_.include_queue) {
+    for (int id : path) {
+      estimate += static_cast<Duration>(std::llround(board_->Get(id).avg_queue_delay));
+    }
+  }
+  if (options_.include_exec) {
+    for (int id : path) {
+      estimate += board_->Get(id).batch_duration;
+    }
+  }
+  if (options_.include_wait) {
+    estimate += AggregateWaitQuantile(path, options_.lambda);
+  }
+  return estimate;
+}
+
+const LatencyEstimator::CacheEntry& LatencyEstimator::Refresh(int module_id) {
+  PARD_CHECK(module_id >= 0 && module_id < spec_->NumModules());
+  CacheEntry& entry = cache_[static_cast<std::size_t>(module_id)];
+  if (entry.board_version == board_->Version()) {
+    return entry;
+  }
+  const auto& paths = spec_->DownstreamPaths(module_id);
+  entry.per_path.clear();
+  entry.per_path.reserve(paths.size());
+  Duration best = 0;
+  for (const std::vector<int>& path : paths) {
+    const Duration estimate = EstimatePath(path);
+    entry.per_path.push_back(estimate);
+    best = std::max(best, estimate);
+  }
+  entry.board_version = board_->Version();
+  entry.max_value = best;
+  return entry;
+}
+
+Duration LatencyEstimator::EstimateSubsequent(int module_id) {
+  return Refresh(module_id).max_value;
+}
+
+Duration LatencyEstimator::EstimateSubsequentForRequest(int module_id, const Request& request) {
+  if (!request.HasDynamicPath()) {
+    return EstimateSubsequent(module_id);
+  }
+  const CacheEntry& entry = Refresh(module_id);
+  const auto& paths = spec_->DownstreamPaths(module_id);
+  Duration best = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // A path is consistent when every fork along it forwards to the path's
+    // next hop under this request's branch choices.
+    int prev = module_id;
+    bool consistent = true;
+    for (int id : paths[i]) {
+      const int choice = request.branch_choice[static_cast<std::size_t>(prev)];
+      if (spec_->Module(prev).subs.size() > 1 && choice != id) {
+        consistent = false;
+        break;
+      }
+      prev = id;
+    }
+    if (consistent) {
+      best = std::max(best, entry.per_path[i]);
+      any = true;
+    }
+  }
+  // A request can only be at modules on its active path, so a consistent
+  // path always exists; keep the conservative maximum as a safety net.
+  return any ? best : entry.max_value;
+}
+
+}  // namespace pard

@@ -1,0 +1,98 @@
+// Bi-directional end-to-end latency estimation (paper §4.2).
+//
+// At decision time t_b the Request Broker knows (backward) the request's
+// cumulative latency t_e - t_s through the current batch start, and
+// (current) the profiled execution duration d_k. This estimator supplies the
+// forward component for the subsequent modules:
+//
+//   L_sub = sum q_i  +  sum d_i  +  w_k,     i in k+1..N
+//
+// where q_i are the synchronized recent queueing delays, d_i the profiled
+// durations at the synchronized batch sizes, and w_k = F^-1_{k+1..N}(lambda)
+// the "sweet spot" quantile of the aggregated batch-wait distribution. The
+// distribution is built by Monte-Carlo over per-module recent wait samples
+// (M = 10 000 reservoirs), falling back to the uniform [0, d_i] model for
+// modules without observations. For DAG pipelines the estimate is the
+// maximum over all downstream paths.
+#ifndef PARD_CORE_LATENCY_ESTIMATOR_H_
+#define PARD_CORE_LATENCY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/request.h"
+#include "runtime/state_board.h"
+#include "stats/empirical_distribution.h"
+
+namespace pard {
+
+struct EstimatorOptions {
+  // Quantile lambda for the batch-wait sweet spot (paper default 0.1).
+  double lambda = 0.1;
+  // Monte-Carlo sample count for the aggregated wait distribution.
+  int mc_samples = 512;
+
+  // Ablation knobs. The full PARD estimator has all three enabled with
+  // kSweetSpot wait handling.
+  enum class WaitMode {
+    kSweetSpot,  // w_k = F^-1(lambda)               (PARD)
+    kLower,      // w_k = 0                          (PARD-lower)
+    kUpper,      // w_k = sum d_i                    (PARD-upper)
+  };
+  WaitMode wait_mode = WaitMode::kSweetSpot;
+  bool include_queue = true;  // false: drop the sum q_i term (PARD-sf).
+  bool include_exec = true;   // false: drop the sum d_i term.
+  bool include_wait = true;   // false: drop the w_k term   (PARD-sf).
+};
+
+class LatencyEstimator {
+ public:
+  LatencyEstimator(const PipelineSpec* spec, const StateBoard* board, EstimatorOptions options,
+                   Rng rng);
+
+  // L_sub from module k (exclusive) to the sink; max over DAG paths.
+  Duration EstimateSubsequent(int module_id);
+
+  // Request-aware variant for dynamic-path pipelines (§5.2 future work):
+  // when the request carries branch choices (path prediction), only the DAG
+  // paths consistent with its chosen branches are considered, eliminating
+  // the conservative cross-branch maximum. Falls back to
+  // EstimateSubsequent() for static requests.
+  Duration EstimateSubsequentForRequest(int module_id, const Request& request);
+
+  // The aggregated batch-wait quantile for an explicit module path — exposed
+  // for tests and the Fig. 6 bench.
+  Duration AggregateWaitQuantile(const std::vector<int>& path, double lambda);
+
+  // Full aggregated-wait distribution for a path (Fig. 6 PDFs).
+  EmpiricalDistribution AggregateWaitDistribution(const std::vector<int>& path);
+
+  const EstimatorOptions& options() const { return options_; }
+
+ private:
+  Duration EstimatePath(const std::vector<int>& path);
+
+  const PipelineSpec* spec_;
+  const StateBoard* board_;
+  EstimatorOptions options_;
+  Rng rng_;
+
+  // Per-module cache of per-path downstream estimates, invalidated on board
+  // publish: between sync ticks every admission reuses the same values, so
+  // the O(mc_samples * path length) work runs once per module per second —
+  // the asynchronous-update cost model of the paper's §5.4.
+  struct CacheEntry {
+    std::uint64_t board_version = ~0ULL;
+    std::vector<Duration> per_path;
+    Duration max_value = 0;
+  };
+  const CacheEntry& Refresh(int module_id);
+  std::vector<CacheEntry> cache_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_CORE_LATENCY_ESTIMATOR_H_

@@ -1,0 +1,133 @@
+#include "core/pard_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/batch_planner.h"
+
+namespace pard {
+
+PardPolicy::PardPolicy(PardOptions options) : options_(options) {}
+
+void PardPolicy::Bind(const PipelineSpec* spec, const StateBoard* board) {
+  DropPolicy::Bind(spec, board);
+  estimator_ = std::make_unique<LatencyEstimator>(spec, board, options_.estimator,
+                                                  Rng(options_.seed).Fork("estimator"));
+  AdaptivePriorityOptions prio;
+  prio.delayed_transition = options_.order != PardOptions::Order::kInstant;
+  priorities_.assign(static_cast<std::size_t>(spec->NumModules()), AdaptivePriority(prio));
+  if (options_.budget_scope != PardOptions::BudgetScope::kEndToEnd) {
+    cumulative_budgets_ = CumulativeSplitBudgets(*spec, PlanBatchSizes(*spec));
+  }
+}
+
+Duration PardPolicy::CumulativeBudget(int module_id) const {
+  PARD_CHECK(!cumulative_budgets_.empty());
+  return cumulative_budgets_[static_cast<std::size_t>(module_id)];
+}
+
+bool PardPolicy::ShouldDrop(const AdmissionContext& ctx) {
+  const Request& req = *ctx.request;
+  // Backward + current components are exact at t_b (Fig. 5).
+  const Duration through_current = (ctx.batch_start - req.sent) + ctx.batch_duration;
+  if (options_.budget_scope != PardOptions::BudgetScope::kEndToEnd) {
+    // Split scopes: the request must clear module k within the cumulative
+    // budget of the source..k prefix.
+    return through_current > CumulativeBudget(ctx.module_id);
+  }
+  Duration sub = 0;
+  if (!options_.backward_only) {
+    sub = options_.path_prediction
+              ? estimator_->EstimateSubsequentForRequest(ctx.module_id, req)
+              : estimator_->EstimateSubsequent(ctx.module_id);
+  }
+  return through_current + sub > req.slo;
+}
+
+PopSide PardPolicy::ChoosePopSide(int module_id, SimTime now) {
+  (void)now;
+  switch (options_.order) {
+    case PardOptions::Order::kFcfs:
+      return PopSide::kOldest;
+    case PardOptions::Order::kHbf:
+      return PopSide::kMaxBudget;
+    case PardOptions::Order::kLbf:
+      return PopSide::kMinBudget;
+    case PardOptions::Order::kAdaptive:
+    case PardOptions::Order::kInstant:
+      return priorities_[static_cast<std::size_t>(module_id)].side();
+  }
+  return PopSide::kOldest;
+}
+
+void PardPolicy::OnSync(SimTime now) {
+  if (options_.order == PardOptions::Order::kAdaptive ||
+      options_.order == PardOptions::Order::kInstant) {
+    for (int id = 0; id < board_->NumModules(); ++id) {
+      const ModuleState& state = board_->Get(id);
+      AdaptivePriority& prio = priorities_[static_cast<std::size_t>(id)];
+      const PriorityMode before = prio.mode();
+      prio.Update(state.load_factor, state.burstiness);
+      if (prio.mode() != before || transition_log_.empty()) {
+        transition_log_.push_back(TransitionSample{now, id, prio.mode(), state.load_factor});
+      }
+    }
+  }
+  if (options_.budget_scope == PardOptions::BudgetScope::kWclSplit) {
+    // Re-split the SLO by each module's runtime worst-case stage latency.
+    std::vector<double> weights;
+    weights.reserve(static_cast<std::size_t>(board_->NumModules()));
+    for (int id = 0; id < board_->NumModules(); ++id) {
+      weights.push_back(std::max(1.0, board_->Get(id).worst_stage_latency));
+    }
+    cumulative_budgets_ = CumulativeBudgetsFromWeights(*spec_, weights, spec_->slo());
+  }
+}
+
+const AdaptivePriority& PardPolicy::priority(int module_id) const {
+  return priorities_[static_cast<std::size_t>(module_id)];
+}
+
+std::string PardPolicy::Name() const {
+  if (options_.backward_only) {
+    return "pard-back";
+  }
+  if (options_.path_prediction) {
+    return "pard-path";
+  }
+  if (!options_.estimator.include_queue && !options_.estimator.include_wait) {
+    return "pard-sf";
+  }
+  switch (options_.budget_scope) {
+    case PardOptions::BudgetScope::kStaticSplit:
+      return "pard-split";
+    case PardOptions::BudgetScope::kWclSplit:
+      return "pard-wcl";
+    case PardOptions::BudgetScope::kEndToEnd:
+      break;
+  }
+  switch (options_.estimator.wait_mode) {
+    case EstimatorOptions::WaitMode::kLower:
+      return "pard-lower";
+    case EstimatorOptions::WaitMode::kUpper:
+      return "pard-upper";
+    case EstimatorOptions::WaitMode::kSweetSpot:
+      break;
+  }
+  switch (options_.order) {
+    case PardOptions::Order::kFcfs:
+      return "pard-fcfs";
+    case PardOptions::Order::kHbf:
+      return "pard-hbf";
+    case PardOptions::Order::kLbf:
+      return "pard-lbf";
+    case PardOptions::Order::kInstant:
+      return "pard-instant";
+    case PardOptions::Order::kAdaptive:
+      break;
+  }
+  return "pard";
+}
+
+}  // namespace pard

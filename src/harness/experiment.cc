@@ -1,0 +1,107 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "pipeline/apps.h"
+#include "trace/arrival_generator.h"
+
+namespace pard {
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.spec = config.custom_spec.has_value() ? *config.custom_spec : MakeApp(config.app);
+  if (config.slo_override > 0) {
+    result.spec = PipelineSpec(result.spec.app_name(), config.slo_override,
+                               result.spec.modules());
+  }
+
+  TraceOptions trace_options;
+  trace_options.duration_s = config.duration_s;
+  trace_options.base_rate = config.base_rate;
+  trace_options.seed = config.seed;
+  result.trace = MakeTrace(config.trace, trace_options);
+  result.burst_region = BurstRegion(config.trace, trace_options);
+  result.mean_input_rate = result.trace.MeanRate(0, SecToUs(config.duration_s));
+
+  // The same (seed, trace) always yields the same arrival stream regardless
+  // of policy, so comparisons share workloads exactly.
+  Rng arrival_rng = Rng(config.seed).Fork("arrivals:" + config.trace);
+  const std::vector<SimTime> arrivals =
+      GenerateArrivals(result.trace, 0, SecToUs(config.duration_s), arrival_rng);
+  PARD_CHECK_MSG(!arrivals.empty(), "trace produced no arrivals");
+
+  PolicyParams params = config.params;
+  params.seed = config.seed;
+  std::unique_ptr<DropPolicy> policy = MakePolicy(config.policy, params);
+
+  RuntimeOptions runtime = config.runtime;
+  runtime.seed = config.seed;
+  if (runtime.provision_headroom == RuntimeOptions{}.provision_headroom) {
+    runtime.provision_headroom = config.provision_factor;
+  }
+
+  PipelineRuntime pipeline(result.spec, runtime, policy.get(), result.mean_input_rate);
+  pipeline.RunTrace(arrivals);
+
+  result.worker_history = pipeline.worker_history();
+  if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
+    result.transitions = pard->transition_log();
+  }
+  result.analysis = std::make_unique<RunAnalysis>(pipeline.requests(), result.spec);
+  return result;
+}
+
+namespace {
+
+ReplicatedMetric Summarize(const std::vector<double>& values) {
+  ReplicatedMetric m;
+  if (values.empty()) {
+    return m;
+  }
+  m.min = values.front();
+  m.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    m.min = std::min(m.min, v);
+    m.max = std::max(m.max, v);
+  }
+  m.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) {
+      sq += (v - m.mean) * (v - m.mean);
+    }
+    m.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return m;
+}
+
+}  // namespace
+
+ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas) {
+  PARD_CHECK(replicas >= 1);
+  std::vector<double> drops;
+  std::vector<double> invalids;
+  std::vector<double> goodputs;
+  for (int i = 0; i < replicas; ++i) {
+    ExperimentConfig replica = config;
+    replica.seed = config.seed + static_cast<std::uint64_t>(i);
+    const ExperimentResult r = RunExperiment(replica);
+    drops.push_back(r.analysis->DropRate());
+    invalids.push_back(r.analysis->InvalidRate());
+    goodputs.push_back(r.analysis->NormalizedGoodput());
+  }
+  ReplicatedResult out;
+  out.replicas = replicas;
+  out.drop_rate = Summarize(drops);
+  out.invalid_rate = Summarize(invalids);
+  out.normalized_goodput = Summarize(goodputs);
+  return out;
+}
+
+}  // namespace pard

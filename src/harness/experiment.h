@@ -1,0 +1,94 @@
+// One-call experiment harness.
+//
+// Wires trace generation, provisioning, policy construction, the pipeline
+// runtime and the metrics analysis into a single entry point so benches,
+// examples and integration tests all run experiments the same way:
+//
+//   ExperimentConfig cfg;
+//   cfg.app = "lv"; cfg.trace = "tweet"; cfg.policy = "pard";
+//   ExperimentResult r = RunExperiment(cfg);
+//   r.analysis->DropRate(); ...
+//
+// Identical (app, trace, seed, rates) produce identical arrival streams for
+// every policy, so cross-policy comparisons are apples-to-apples.
+#ifndef PARD_HARNESS_EXPERIMENT_H_
+#define PARD_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/policy_factory.h"
+#include "core/pard_policy.h"
+#include "metrics/analysis.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/runtime_options.h"
+#include "trace/traces.h"
+
+namespace pard {
+
+struct ExperimentConfig {
+  std::string app = "lv";      // tm | lv | gm | da
+  std::string trace = "tweet";  // wiki | tweet | azure
+  std::string policy = "pard";  // Any MakePolicy name.
+
+  // When set, overrides `app` with an arbitrary pipeline (e.g. a JSON-loaded
+  // or synthetic spec).
+  std::optional<PipelineSpec> custom_spec;
+
+  // Trace shape. Defaults compress the paper's ~1000 s traces into 240 s at
+  // a rate the simulated cluster can serve at mean load but not at burst
+  // peaks — the regime where dropping policy matters.
+  double duration_s = 240.0;
+  double base_rate = 120.0;
+  std::uint64_t seed = 42;
+
+  // Provisioning: capacity is planned for `provision_factor` x the trace's
+  // mean rate (bursts then exceed capacity, as in the paper's bursty
+  // regions). Set fixed_workers in `runtime` to override entirely.
+  double provision_factor = 1.15;
+
+  PolicyParams params;
+  RuntimeOptions runtime;
+
+  // Optional SLO override (us); 0 keeps the app default.
+  Duration slo_override = 0;
+};
+
+struct ExperimentResult {
+  std::unique_ptr<RunAnalysis> analysis;
+  PipelineSpec spec;
+  RateFunction trace;
+  TraceRegion burst_region{0, 0};
+  double mean_input_rate = 0.0;
+
+  // PARD-specific extras (empty for other policies).
+  std::vector<PardPolicy::TransitionSample> transitions;
+  std::vector<PipelineRuntime::WorkerSample> worker_history;
+};
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Replicated runs: the same experiment across `replicas` seeds
+// (config.seed, config.seed+1, ...), with mean and sample standard deviation
+// of the headline metrics. Use to put error bars on any comparison.
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicatedResult {
+  int replicas = 0;
+  ReplicatedMetric drop_rate;
+  ReplicatedMetric invalid_rate;
+  ReplicatedMetric normalized_goodput;
+};
+
+ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas);
+
+}  // namespace pard
+
+#endif  // PARD_HARNESS_EXPERIMENT_H_

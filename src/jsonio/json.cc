@@ -1,0 +1,425 @@
+#include "jsonio/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pard {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": " << msg;
+    throw JsonError(os.str());
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char Next() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+
+  void Expect(char c) {
+    if (Next() != c) {
+      --pos_;
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void ExpectLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      Fail(std::string("expected literal '") + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return JsonValue(ParseString());
+      case 't':
+        ExpectLiteral("true");
+        return JsonValue(true);
+      case 'f':
+        ExpectLiteral("false");
+        return JsonValue(false);
+      case 'n':
+        ExpectLiteral("null");
+        return JsonValue(nullptr);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonObject obj;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      obj[std::move(key)] = ParseValue();
+      SkipWs();
+      const char c = Next();
+      if (c == '}') {
+        return JsonValue(std::move(obj));
+      }
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonArray arr;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(ParseValue());
+      SkipWs();
+      const char c = Next();
+      if (c == ']') {
+        return JsonValue(std::move(arr));
+      }
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          Fail("unterminated escape");
+        }
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              Fail("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                Fail("invalid hex digit in \\u escape");
+              }
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            Fail("invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  static void AppendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("invalid number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::stod(token));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void DumpValue(const JsonValue& v, std::ostringstream& os, int indent, int depth);
+
+void Indent(std::ostringstream& os, int indent, int depth) {
+  if (indent >= 0) {
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i) {
+      os << ' ';
+    }
+  }
+}
+
+void DumpString(const std::string& s, std::ostringstream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void DumpNumber(double d, std::ostringstream& os) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    os << static_cast<long long>(d);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os << buf;
+  }
+}
+
+void DumpValue(const JsonValue& v, std::ostringstream& os, int indent, int depth) {
+  if (v.IsNull()) {
+    os << "null";
+  } else if (v.IsBool()) {
+    os << (v.AsBool() ? "true" : "false");
+  } else if (v.IsNumber()) {
+    DumpNumber(v.AsDouble(), os);
+  } else if (v.IsString()) {
+    DumpString(v.AsString(), os);
+  } else if (v.IsArray()) {
+    const JsonArray& arr = v.AsArray();
+    os << '[';
+    bool first = true;
+    for (const JsonValue& e : arr) {
+      if (!first) {
+        os << ',';
+        if (indent >= 0) {
+          os << ' ';
+        }
+      }
+      first = false;
+      DumpValue(e, os, -1, depth + 1);  // Arrays stay on one line.
+    }
+    os << ']';
+  } else {
+    const JsonObject& obj = v.AsObject();
+    os << '{';
+    bool first = true;
+    for (const auto& [key, val] : obj) {
+      if (!first) {
+        os << ',';
+      }
+      first = false;
+      Indent(os, indent, depth + 1);
+      DumpString(key, os);
+      os << ':';
+      if (indent >= 0) {
+        os << ' ';
+      }
+      DumpValue(val, os, indent, depth + 1);
+    }
+    if (!obj.empty()) {
+      Indent(os, indent, depth);
+    }
+    os << '}';
+  }
+}
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (!IsBool()) {
+    throw JsonError("not a bool");
+  }
+  return std::get<bool>(value_);
+}
+
+double JsonValue::AsDouble() const {
+  if (!IsNumber()) {
+    throw JsonError("not a number");
+  }
+  return std::get<double>(value_);
+}
+
+std::int64_t JsonValue::AsInt() const {
+  const double d = AsDouble();
+  if (d != std::floor(d)) {
+    throw JsonError("number is not an integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& JsonValue::AsString() const {
+  if (!IsString()) {
+    throw JsonError("not a string");
+  }
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::AsArray() const {
+  if (!IsArray()) {
+    throw JsonError("not an array");
+  }
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::AsObject() const {
+  if (!IsObject()) {
+    throw JsonError("not an object");
+  }
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& JsonValue::AsArray() {
+  if (!IsArray()) {
+    throw JsonError("not an array");
+  }
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& JsonValue::AsObject() {
+  if (!IsObject()) {
+    throw JsonError("not an object");
+  }
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    throw JsonError("missing key: " + key);
+  }
+  return *v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!IsObject()) {
+    return nullptr;
+  }
+  const JsonObject& obj = std::get<JsonObject>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::ostringstream os;
+  DumpValue(*this, os, indent, 0);
+  return os.str();
+}
+
+JsonValue ParseJson(std::string_view text) { return Parser(text).ParseDocument(); }
+
+}  // namespace pard

@@ -1,0 +1,83 @@
+// Minimal JSON parser/serializer.
+//
+// The paper (§5.1) defines inference pipelines via JSON files of module
+// configurations (name, id, pres, subs); this module is the self-contained
+// substrate that loads and emits those files. It supports the full JSON
+// grammar except for \u surrogate pairs outside the BMP (sufficient for
+// configuration data).
+#ifndef PARD_JSONIO_JSON_H_
+#define PARD_JSONIO_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pard {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps key order deterministic for serialization.
+using JsonObject = std::map<std::string, JsonValue>;
+
+// Thrown on malformed input (with byte offset) or type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}                 // NOLINT(runtime/explicit)
+  JsonValue(bool b) : value_(b) {}                               // NOLINT(runtime/explicit)
+  JsonValue(double d) : value_(d) {}                             // NOLINT(runtime/explicit)
+  JsonValue(int i) : value_(static_cast<double>(i)) {}           // NOLINT(runtime/explicit)
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT(runtime/explicit)
+  JsonValue(const char* s) : value_(std::string(s)) {}           // NOLINT(runtime/explicit)
+  JsonValue(std::string s) : value_(std::move(s)) {}             // NOLINT(runtime/explicit)
+  JsonValue(JsonArray a) : value_(std::move(a)) {}               // NOLINT(runtime/explicit)
+  JsonValue(JsonObject o) : value_(std::move(o)) {}              // NOLINT(runtime/explicit)
+
+  bool IsNull() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool IsBool() const { return std::holds_alternative<bool>(value_); }
+  bool IsNumber() const { return std::holds_alternative<double>(value_); }
+  bool IsString() const { return std::holds_alternative<std::string>(value_); }
+  bool IsArray() const { return std::holds_alternative<JsonArray>(value_); }
+  bool IsObject() const { return std::holds_alternative<JsonObject>(value_); }
+
+  // Typed accessors; throw JsonError on mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  const JsonObject& AsObject() const;
+  JsonArray& AsArray();
+  JsonObject& AsObject();
+
+  // Object field access; throws if not an object or key missing.
+  const JsonValue& At(const std::string& key) const;
+  // Returns nullptr when the key is absent (or this is not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Serializes. indent < 0 emits compact JSON; otherwise pretty-prints with
+  // the given indentation width.
+  std::string Dump(int indent = -1) const;
+
+  bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+// Parses a complete JSON document; trailing non-whitespace is an error.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace pard
+
+#endif  // PARD_JSONIO_JSON_H_

@@ -1,0 +1,81 @@
+#include "metrics/report.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pard {
+namespace {
+
+JsonValue QuantileObject(const EmpiricalDistribution& dist, const std::vector<double>& qs) {
+  JsonObject obj;
+  for (double q : qs) {
+    obj[StrFormat("p%g", q * 100.0)] = dist.Quantile(q) / 1000.0;  // -> ms
+  }
+  return JsonValue(std::move(obj));
+}
+
+}  // namespace
+
+JsonValue BuildRunReport(const RunAnalysis& analysis, const ReportOptions& options) {
+  JsonObject report;
+
+  JsonObject summary;
+  summary["total"] = static_cast<std::int64_t>(analysis.Total());
+  summary["good"] = static_cast<std::int64_t>(analysis.GoodCount());
+  summary["dropped"] = static_cast<std::int64_t>(analysis.DroppedCount());
+  summary["drop_rate"] = analysis.DropRate();
+  summary["invalid_rate"] = analysis.InvalidRate();
+  summary["mean_goodput_rps"] = analysis.MeanGoodput();
+  summary["normalized_goodput"] = analysis.NormalizedGoodput();
+  report["summary"] = std::move(summary);
+
+  JsonObject per_module;
+  JsonArray drop_share;
+  for (double s : analysis.PerModuleDropShare()) {
+    drop_share.emplace_back(s);
+  }
+  per_module["drop_share"] = std::move(drop_share);
+  JsonArray queue_delay;
+  for (double v : analysis.MeanQueueDelayPerModule()) {
+    queue_delay.emplace_back(v / 1000.0);
+  }
+  per_module["mean_queue_delay_ms"] = std::move(queue_delay);
+  JsonArray consumed;
+  for (double v : analysis.MeanConsumedBudgetPerModule()) {
+    consumed.emplace_back(v / 1000.0);
+  }
+  per_module["mean_consumed_budget_ms"] = std::move(consumed);
+  report["per_module"] = std::move(per_module);
+
+  JsonObject latency;
+  const EmpiricalDistribution sum_q = analysis.SumQueueDistribution();
+  const EmpiricalDistribution sum_w = analysis.SumWaitDistribution();
+  const EmpiricalDistribution sum_d = analysis.SumExecDistribution();
+  latency["sum_queue_ms"] = QuantileObject(sum_q, options.quantiles);
+  latency["sum_wait_ms"] = QuantileObject(sum_w, options.quantiles);
+  latency["sum_exec_ms"] = QuantileObject(sum_d, options.quantiles);
+  report["latency"] = std::move(latency);
+
+  if (options.include_series) {
+    JsonObject series;
+    JsonArray t_s;
+    JsonArray goodput;
+    JsonArray drop_rate;
+    for (const SeriesPoint& p : analysis.NormalizedGoodputSeries(options.series_bin)) {
+      t_s.emplace_back(UsToSec(p.t));
+      goodput.emplace_back(p.value);
+    }
+    for (const SeriesPoint& p : analysis.TransientDropRateSeries(options.series_bin)) {
+      drop_rate.emplace_back(p.value);
+    }
+    series["t_s"] = std::move(t_s);
+    series["normalized_goodput"] = std::move(goodput);
+    series["drop_rate"] = std::move(drop_rate);
+    report["series"] = std::move(series);
+  }
+
+  return JsonValue(std::move(report));
+}
+
+}  // namespace pard

@@ -1,0 +1,34 @@
+// Machine-readable run reports.
+//
+// Serializes a RunAnalysis into JSON so external tooling (plotting scripts,
+// regression dashboards) can consume experiment results — the artifact the
+// `pardsim --json` CLI emits.
+#ifndef PARD_METRICS_REPORT_H_
+#define PARD_METRICS_REPORT_H_
+
+#include "jsonio/json.h"
+#include "metrics/analysis.h"
+
+namespace pard {
+
+struct ReportOptions {
+  // Bin width for the goodput/drop time series.
+  Duration series_bin = 5 * kUsPerSec;
+  // Include per-bin series (can be large); scalar summary is always present.
+  bool include_series = true;
+  // Quantiles reported for the sumQ/sumW/sumD distributions.
+  std::vector<double> quantiles = {0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+};
+
+// Builds the full report. Layout:
+// {
+//   "summary":   {total, good, dropped, drop_rate, invalid_rate, ...},
+//   "per_module":{drop_share, mean_queue_delay_ms, mean_consumed_budget_ms},
+//   "latency":   {sum_queue_ms: {p10: ..}, sum_wait_ms: .., sum_exec_ms: ..},
+//   "series":    {t_s: [...], normalized_goodput: [...], drop_rate: [...]}
+// }
+JsonValue BuildRunReport(const RunAnalysis& analysis, const ReportOptions& options = {});
+
+}  // namespace pard
+
+#endif  // PARD_METRICS_REPORT_H_

@@ -1,0 +1,74 @@
+#include "models/model_profile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pard {
+
+ModelProfile::ModelProfile(std::string name, std::vector<Duration> durations)
+    : name_(std::move(name)), durations_(std::move(durations)) {
+  PARD_CHECK_MSG(!durations_.empty(), "profile needs at least batch size 1");
+  for (Duration d : durations_) {
+    PARD_CHECK_MSG(d > 0, "profiled durations must be positive");
+  }
+}
+
+ModelProfile ModelProfile::Linear(std::string name, Duration alpha_us, Duration beta_us,
+                                  int max_batch) {
+  PARD_CHECK(max_batch >= 1);
+  std::vector<Duration> durations;
+  durations.reserve(static_cast<std::size_t>(max_batch));
+  for (int b = 1; b <= max_batch; ++b) {
+    durations.push_back(alpha_us + beta_us * b);
+  }
+  return ModelProfile(std::move(name), std::move(durations));
+}
+
+Duration ModelProfile::BatchDuration(int batch) const {
+  PARD_CHECK(!durations_.empty());
+  const int b = std::clamp(batch, 1, MaxBatch());
+  return durations_[static_cast<std::size_t>(b - 1)];
+}
+
+double ModelProfile::Throughput(int batch) const {
+  const int b = std::clamp(batch, 1, MaxBatch());
+  return static_cast<double>(b) / UsToSec(BatchDuration(b));
+}
+
+int ModelProfile::LargestFeasibleBatch(Duration budget) const {
+  int best = 1;
+  double best_tput = 0.0;
+  for (int b = 1; b <= MaxBatch(); ++b) {
+    if (2 * BatchDuration(b) <= budget) {
+      const double tput = Throughput(b);
+      if (tput >= best_tput) {
+        best = b;
+        best_tput = tput;
+      }
+    }
+  }
+  return best;
+}
+
+JsonValue ModelProfile::ToJson() const {
+  JsonArray durations;
+  durations.reserve(durations_.size());
+  for (Duration d : durations_) {
+    durations.emplace_back(static_cast<std::int64_t>(d));
+  }
+  JsonObject obj;
+  obj["name"] = name_;
+  obj["durations_us"] = std::move(durations);
+  return JsonValue(std::move(obj));
+}
+
+ModelProfile ModelProfile::FromJson(const JsonValue& v) {
+  std::vector<Duration> durations;
+  for (const JsonValue& d : v.At("durations_us").AsArray()) {
+    durations.push_back(d.AsInt());
+  }
+  return ModelProfile(v.At("name").AsString(), std::move(durations));
+}
+
+}  // namespace pard

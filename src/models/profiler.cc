@@ -1,0 +1,39 @@
+#include "models/profiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pard {
+
+OfflineProfiler::OfflineProfiler(ProfilerOptions options, Rng rng)
+    : options_(options), rng_(rng) {
+  PARD_CHECK(options_.max_batch >= 1);
+  PARD_CHECK(options_.repetitions >= 1);
+  PARD_CHECK(options_.noise >= 0.0);
+}
+
+ModelProfile OfflineProfiler::Profile(const std::string& name, const LatencyFn& true_latency) {
+  std::vector<Duration> durations;
+  durations.reserve(static_cast<std::size_t>(options_.max_batch));
+  for (int b = 1; b <= options_.max_batch; ++b) {
+    const Duration truth = true_latency(b);
+    PARD_CHECK_MSG(truth > 0, "hardware latency must be positive");
+    std::vector<Duration> reps;
+    reps.reserve(static_cast<std::size_t>(options_.repetitions));
+    for (int r = 0; r < options_.repetitions; ++r) {
+      const double factor = std::max(0.5, rng_.Normal(1.0, options_.noise));
+      reps.push_back(static_cast<Duration>(static_cast<double>(truth) * factor));
+    }
+    std::nth_element(reps.begin(), reps.begin() + reps.size() / 2, reps.end());
+    durations.push_back(reps[reps.size() / 2]);
+  }
+  // Monotonize: larger batches can never be profiled as strictly faster.
+  for (std::size_t i = 1; i < durations.size(); ++i) {
+    durations[i] = std::max(durations[i], durations[i - 1]);
+  }
+  return ModelProfile(name, std::move(durations));
+}
+
+}  // namespace pard

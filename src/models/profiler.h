@@ -1,0 +1,45 @@
+// Simulated offline profiler.
+//
+// The paper performs an offline profiling pass before startup to obtain
+// per-model execution duration and throughput under various batch sizes
+// (§5.1). This module reproduces that pipeline stage: given a ground-truth
+// latency function (the "hardware"), it runs R repetitions per batch size
+// with multiplicative measurement noise and emits a ModelProfile from the
+// median, exactly as a real profiler would.
+#ifndef PARD_MODELS_PROFILER_H_
+#define PARD_MODELS_PROFILER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "models/model_profile.h"
+
+namespace pard {
+
+struct ProfilerOptions {
+  int max_batch = 32;
+  int repetitions = 21;
+  // Stddev of multiplicative measurement noise (e.g. 0.03 = 3%).
+  double noise = 0.03;
+};
+
+class OfflineProfiler {
+ public:
+  // `true_latency(b)` is the hardware's real duration for batch size b.
+  using LatencyFn = std::function<Duration(int)>;
+
+  OfflineProfiler(ProfilerOptions options, Rng rng);
+
+  // Measures the model and returns its profile (median of noisy repetitions,
+  // monotonized over batch size so planners see a sane table).
+  ModelProfile Profile(const std::string& name, const LatencyFn& true_latency);
+
+ private:
+  ProfilerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_MODELS_PROFILER_H_

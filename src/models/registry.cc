@@ -1,0 +1,56 @@
+#include "models/registry.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace pard {
+namespace {
+
+// alpha/beta in microseconds; max batch 32 everywhere.
+const std::map<std::string, ModelProfile>& Zoo() {
+  static const std::map<std::string, ModelProfile>* zoo = [] {
+    auto* m = new std::map<std::string, ModelProfile>();
+    const auto add = [m](const char* name, Duration alpha_ms, Duration beta_ms) {
+      m->emplace(name, ModelProfile::Linear(name, alpha_ms * kUsPerMs, beta_ms * kUsPerMs, 32));
+    };
+    // Traffic monitoring (tm).
+    add("object_detection", 12, 4);
+    add("face_recognition", 8, 3);
+    add("text_recognition", 10, 3);
+    // Live video (lv) adds:
+    add("person_detection", 10, 4);
+    add("expression_recognition", 6, 2);
+    add("eye_tracking", 5, 2);
+    add("pose_recognition", 9, 3);
+    // Game analysis (gm) adds:
+    add("kill_count_detection", 7, 2);
+    add("alive_player_recognition", 6, 2);
+    add("health_value_recognition", 5, 2);
+    add("icon_recognition", 4, 2);
+    return m;
+  }();
+  return *zoo;
+}
+
+}  // namespace
+
+const ModelProfile& ProfileRegistry::Get(const std::string& name) {
+  const auto& zoo = Zoo();
+  const auto it = zoo.find(name);
+  PARD_CHECK_MSG(it != zoo.end(), "unknown model: " << name);
+  return it->second;
+}
+
+bool ProfileRegistry::Contains(const std::string& name) { return Zoo().count(name) > 0; }
+
+std::vector<std::string> ProfileRegistry::Names() {
+  std::vector<std::string> names;
+  for (const auto& [name, profile] : Zoo()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace pard

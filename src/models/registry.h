@@ -1,0 +1,32 @@
+// Model zoo for the paper's four applications (§5.1).
+//
+// The paper's pipelines are built from eleven vision models. Their absolute
+// latencies are not published; the zoo assigns plausible 2080Ti-class linear
+// profiles (alpha = fixed launch cost, beta = per-image cost) chosen so that
+// the pipelines fit their SLOs (400/500/600/420 ms) with dynamic batching,
+// mirroring the paper's setup. DESIGN.md records this substitution.
+#ifndef PARD_MODELS_REGISTRY_H_
+#define PARD_MODELS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model_profile.h"
+
+namespace pard {
+
+class ProfileRegistry {
+ public:
+  // Returns the profile for a zoo model; throws CheckError for unknown names.
+  static const ModelProfile& Get(const std::string& name);
+
+  // True if the zoo contains `name`.
+  static bool Contains(const std::string& name);
+
+  // All registered model names (sorted).
+  static std::vector<std::string> Names();
+};
+
+}  // namespace pard
+
+#endif  // PARD_MODELS_REGISTRY_H_

@@ -1,0 +1,106 @@
+#include "pipeline/apps.h"
+
+#include "common/check.h"
+
+namespace pard {
+namespace {
+
+ModuleSpec Chain(int id, const char* model, int num_modules) {
+  ModuleSpec m;
+  m.id = id;
+  m.model = model;
+  if (id > 0) {
+    m.pres.push_back(id - 1);
+  }
+  if (id < num_modules - 1) {
+    m.subs.push_back(id + 1);
+  }
+  return m;
+}
+
+}  // namespace
+
+PipelineSpec MakeTrafficMonitoring() {
+  std::vector<ModuleSpec> modules = {
+      Chain(0, "object_detection", 3),
+      Chain(1, "face_recognition", 3),
+      Chain(2, "text_recognition", 3),
+  };
+  return PipelineSpec("tm", MsToUs(400), std::move(modules));
+}
+
+PipelineSpec MakeLiveVideo() {
+  std::vector<ModuleSpec> modules = {
+      Chain(0, "person_detection", 5),
+      Chain(1, "face_recognition", 5),
+      Chain(2, "expression_recognition", 5),
+      Chain(3, "eye_tracking", 5),
+      Chain(4, "pose_recognition", 5),
+  };
+  return PipelineSpec("lv", MsToUs(500), std::move(modules));
+}
+
+PipelineSpec MakeGameAnalysis() {
+  std::vector<ModuleSpec> modules = {
+      Chain(0, "object_detection", 5),
+      Chain(1, "kill_count_detection", 5),
+      Chain(2, "alive_player_recognition", 5),
+      Chain(3, "health_value_recognition", 5),
+      Chain(4, "icon_recognition", 5),
+  };
+  return PipelineSpec("gm", MsToUs(600), std::move(modules));
+}
+
+PipelineSpec MakeDagLiveVideo() {
+  // person detection -> {pose recognition, face recognition} -> expression
+  // recognition (merge) -> eye tracking (sink), per §5.1 and §5.2.
+  ModuleSpec person;
+  person.id = 0;
+  person.model = "person_detection";
+  person.subs = {1, 2};
+
+  ModuleSpec pose;
+  pose.id = 1;
+  pose.model = "pose_recognition";
+  pose.pres = {0};
+  pose.subs = {3};
+
+  ModuleSpec face;
+  face.id = 2;
+  face.model = "face_recognition";
+  face.pres = {0};
+  face.subs = {3};
+
+  ModuleSpec expression;
+  expression.id = 3;
+  expression.model = "expression_recognition";
+  expression.pres = {1, 2};
+  expression.subs = {4};
+
+  ModuleSpec eye;
+  eye.id = 4;
+  eye.model = "eye_tracking";
+  eye.pres = {3};
+
+  return PipelineSpec("da", MsToUs(420), {person, pose, face, expression, eye});
+}
+
+PipelineSpec MakeApp(const std::string& name) {
+  if (name == "tm") {
+    return MakeTrafficMonitoring();
+  }
+  if (name == "lv") {
+    return MakeLiveVideo();
+  }
+  if (name == "gm") {
+    return MakeGameAnalysis();
+  }
+  if (name == "da") {
+    return MakeDagLiveVideo();
+  }
+  PARD_CHECK_MSG(false, "unknown app: " << name);
+}
+
+std::vector<std::string> AppNames() { return {"lv", "tm", "gm", "da"}; }
+
+}  // namespace pard

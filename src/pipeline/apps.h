@@ -1,0 +1,30 @@
+// The four benchmark applications from the paper (§5.1):
+//   tm — traffic monitoring, 3-module chain, SLO 400 ms
+//   lv — live video analysis, 5-module chain, SLO 500 ms
+//   gm — game analysis, 5-module chain, SLO 600 ms
+//   da — DAG-style live video: person detection fans out to pose + face
+//        branches that merge in expression recognition, SLO 420 ms
+#ifndef PARD_PIPELINE_APPS_H_
+#define PARD_PIPELINE_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline_spec.h"
+
+namespace pard {
+
+PipelineSpec MakeTrafficMonitoring();
+PipelineSpec MakeLiveVideo();
+PipelineSpec MakeGameAnalysis();
+PipelineSpec MakeDagLiveVideo();
+
+// Dispatch by the paper's short name: "tm" | "lv" | "gm" | "da".
+PipelineSpec MakeApp(const std::string& name);
+
+// All four app names in paper order.
+std::vector<std::string> AppNames();
+
+}  // namespace pard
+
+#endif  // PARD_PIPELINE_APPS_H_

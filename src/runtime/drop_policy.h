@@ -1,0 +1,82 @@
+// Drop-policy interface.
+//
+// A policy plugs into the serving runtime at three points:
+//   1. ShouldDrop()    — the Request Broker decision at batch-entry time t_b
+//                        (Fig. 5), when t_e and d_k are known exactly.
+//   2. ChoosePopSide() — which end of the per-worker DEPQ the broker
+//                        consumes next (arrival order vs LBF vs HBF).
+//   3. AdmitAtModule() — enqueue-time admission (used by the DAGOR-style
+//                        overload-control baseline to shed at ingress).
+// OnSync() fires after every state-board refresh so policies can update
+// derived state (adaptive priority mode, dynamic budget splits).
+#ifndef PARD_RUNTIME_DROP_POLICY_H_
+#define PARD_RUNTIME_DROP_POLICY_H_
+
+#include <string>
+
+#include "common/time_types.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/request.h"
+#include "runtime/request_queue.h"
+#include "runtime/state_board.h"
+
+namespace pard {
+
+// Everything the Request Broker knows when deciding on one request.
+struct AdmissionContext {
+  const Request* request = nullptr;
+  int module_id = -1;
+  SimTime now = 0;            // == t_b, the moment of the decision.
+  SimTime batch_start = 0;    // Expected t_e of the batch being formed.
+  Duration batch_duration = 0;  // d_k at the module's planned batch size.
+  int batch_size = 1;
+};
+
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+
+  // Called once by the runtime before any traffic; gives the policy read
+  // access to the pipeline structure and the shared state board.
+  virtual void Bind(const PipelineSpec* spec, const StateBoard* board) {
+    spec_ = spec;
+    board_ = board;
+  }
+
+  // Request Broker decision: true = drop the request now (it never enters
+  // the forming batch and consumes no GPU time at this module).
+  virtual bool ShouldDrop(const AdmissionContext& ctx) = 0;
+
+  // Queue-order decision for the module's workers.
+  virtual PopSide ChoosePopSide(int module_id, SimTime now) {
+    (void)module_id;
+    (void)now;
+    return PopSide::kOldest;
+  }
+
+  // Enqueue-time admission; false = shed before queueing.
+  virtual bool AdmitAtModule(const Request& request, int module_id, SimTime now) {
+    (void)request;
+    (void)module_id;
+    (void)now;
+    return true;
+  }
+
+  // Whether the broker may evict queued requests whose deadline has already
+  // passed (they are unservable under any decision). Every dropping policy
+  // wants this; the naive baseline — which never drops — returns false.
+  virtual bool PurgeExpired() const { return true; }
+
+  // Invoked right after every state-board sync.
+  virtual void OnSync(SimTime now) { (void)now; }
+
+  virtual std::string Name() const = 0;
+
+ protected:
+  const PipelineSpec* spec_ = nullptr;
+  const StateBoard* board_ = nullptr;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_DROP_POLICY_H_

@@ -1,0 +1,254 @@
+#include "runtime/module_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/pipeline_runtime.h"
+
+namespace pard {
+
+ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const ModuleSpec& spec,
+                             const ModelProfile& profile, int batch_size, int initial_workers,
+                             const RuntimeOptions& options, DropPolicy* policy)
+    : sim_(sim),
+      pipeline_(pipeline),
+      spec_(spec),
+      profile_(profile),
+      batch_size_(batch_size),
+      options_(options),
+      policy_(policy),
+      jitter_rng_(Rng(options.seed).Fork("jitter:" + std::to_string(spec.id))),
+      queue_delay_window_(options.stats_window),
+      stage_latency_window_(options.stats_window),
+      wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)) {
+  PARD_CHECK(batch_size_ >= 1);
+  PARD_CHECK(initial_workers >= 1);
+  for (int i = 0; i < initial_workers; ++i) {
+    auto worker = std::make_shared<Worker>(sim_, this, next_worker_id_++);
+    worker->Activate();  // Initial fleet starts warm.
+    workers_.push_back(std::move(worker));
+  }
+}
+
+int ModuleRuntime::ActiveWorkers() const {
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->state() == Worker::State::kActive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int ModuleRuntime::ProvisionedWorkers() const {
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->state() == Worker::State::kActive || w->state() == Worker::State::kColdStarting) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Duration ModuleRuntime::SampleExecDuration(int batch) {
+  const Duration d = profile_.BatchDuration(batch);
+  if (options_.exec_jitter <= 0.0) {
+    return d;
+  }
+  const double factor = std::max(0.5, jitter_rng_.Normal(1.0, options_.exec_jitter));
+  return static_cast<Duration>(static_cast<double>(d) * factor);
+}
+
+Worker* ModuleRuntime::ChooseWorker() {
+  // Least-loaded among dispatchable workers; round-robin tie-break so equal
+  // loads spread deterministically.
+  Worker* best = nullptr;
+  std::size_t best_load = 0;
+  const std::size_t n = workers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Worker* w = workers_[(rr_cursor_ + i) % n].get();
+    if (!w->Dispatchable()) {
+      continue;
+    }
+    const std::size_t load = w->Load();
+    if (best == nullptr || load < best_load) {
+      best = w;
+      best_load = load;
+    }
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % std::max<std::size_t>(n, 1);
+  return best;
+}
+
+void ModuleRuntime::Receive(RequestPtr req) {
+  const SimTime now = sim_->Now();
+  BumpRate(now);
+  if (req->Terminal()) {
+    return;  // Dropped on another branch before delivery.
+  }
+  if (!policy_->AdmitAtModule(*req, spec_.id, now)) {
+    req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
+    OnPolicyDrop(std::move(req));
+    return;
+  }
+  Worker* worker = ChooseWorker();
+  if (worker == nullptr) {
+    // No dispatchable worker (all cold / draining): treat as a policy-
+    // independent infrastructure drop so the request does not dangle.
+    req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
+    OnPolicyDrop(std::move(req));
+    return;
+  }
+  worker->Enqueue(std::move(req));
+}
+
+void ModuleRuntime::OnExecuted(RequestPtr req) { pipeline_->OnModuleDone(std::move(req), spec_.id); }
+
+void ModuleRuntime::OnPolicyDrop(RequestPtr req) { pipeline_->Drop(std::move(req), spec_.id); }
+
+void ModuleRuntime::RecordQueueDelay(SimTime now, Duration q_delay) {
+  queue_delay_window_.Add(now, static_cast<double>(q_delay));
+}
+
+void ModuleRuntime::RecordBatchWait(SimTime now, Duration wait) {
+  (void)now;
+  wait_reservoir_.Add(static_cast<double>(wait));
+}
+
+void ModuleRuntime::RecordStageLatency(SimTime now, Duration stage_latency) {
+  stage_latency_window_.Add(now, static_cast<double>(stage_latency));
+}
+
+void ModuleRuntime::BumpRate(SimTime now) {
+  EvictRateBins(now);
+  const SimTime bin_start = (now / kUsPerSec) * kUsPerSec;
+  if (rate_bins_.empty() || rate_bins_.back().start != bin_start) {
+    rate_bins_.push_back(RateBin{bin_start, 0});
+  }
+  ++rate_bins_.back().count;
+}
+
+void ModuleRuntime::EvictRateBins(SimTime now) {
+  const SimTime horizon = now - options_.stats_window;
+  while (!rate_bins_.empty() && rate_bins_.front().start + kUsPerSec <= horizon) {
+    rate_bins_.pop_front();
+  }
+}
+
+double ModuleRuntime::RawInputRate(SimTime now) {
+  EvictRateBins(now);
+  if (rate_bins_.empty()) {
+    return 0.0;
+  }
+  // Most recent complete view: the last bin scaled by its coverage.
+  const RateBin& last = rate_bins_.back();
+  const double coverage =
+      std::clamp(UsToSec(now - last.start), 0.1, 1.0);
+  return static_cast<double>(last.count) / coverage;
+}
+
+double ModuleRuntime::SmoothedInputRate(SimTime now) {
+  EvictRateBins(now);
+  if (rate_bins_.empty()) {
+    return 0.0;
+  }
+  int total = 0;
+  for (const RateBin& b : rate_bins_) {
+    total += b.count;
+  }
+  const double covered =
+      std::clamp(UsToSec(now - rate_bins_.front().start), 1.0, UsToSec(options_.stats_window));
+  return static_cast<double>(total) / covered;
+}
+
+double ModuleRuntime::Burstiness(SimTime now) {
+  EvictRateBins(now);
+  if (rate_bins_.size() < 2) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const RateBin& b : rate_bins_) {
+    sum += static_cast<double>(b.count);
+  }
+  const double mean = sum / static_cast<double>(rate_bins_.size());
+  if (sum <= 0.0) {
+    return 0.0;
+  }
+  double dev = 0.0;
+  for (const RateBin& b : rate_bins_) {
+    dev += std::abs(static_cast<double>(b.count) - mean);
+  }
+  return dev / sum;
+}
+
+void ModuleRuntime::Sync(SimTime now, StateBoard* board) {
+  ReapRetired();
+  ModuleState state;
+  state.module_id = spec_.id;
+  state.updated_at = now;
+  state.avg_queue_delay = queue_delay_window_.LinearWeightedMean(now, 0.0);
+  state.worst_stage_latency = stage_latency_window_.Max(
+      now, static_cast<double>(profile_.BatchDuration(batch_size_)));
+  state.batch_size = batch_size_;
+  state.batch_duration = profile_.BatchDuration(batch_size_);
+  state.num_workers = std::max(1, ActiveWorkers());
+  state.per_worker_throughput = PerWorkerThroughput();
+  state.input_rate = RawInputRate(now);
+  state.smoothed_rate = SmoothedInputRate(now);
+  const double capacity = state.per_worker_throughput * state.num_workers;
+  state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
+  state.burstiness = Burstiness(now);
+  state.wait_samples = wait_reservoir_.values();
+  std::sort(state.wait_samples.begin(), state.wait_samples.end());
+  board->Publish(std::move(state));
+}
+
+void ModuleRuntime::SetTargetWorkers(int target) {
+  target = std::clamp(target, 1, options_.max_workers_per_module);
+  ReapRetired();
+  int provisioned = ProvisionedWorkers();
+  while (provisioned < target) {
+    auto worker = std::make_shared<Worker>(sim_, this, next_worker_id_++);
+    std::weak_ptr<Worker> weak = worker;
+    workers_.push_back(std::move(worker));
+    // Model cold start: the worker accepts traffic only after the delay.
+    sim_->ScheduleAfter(options_.cold_start, [weak] {
+      if (auto w = weak.lock(); w != nullptr && w->state() == Worker::State::kColdStarting) {
+        w->Activate();
+      }
+    });
+    ++provisioned;
+  }
+  // Drain the highest-id (most recently added) workers first.
+  for (auto it = workers_.rbegin(); it != workers_.rend() && provisioned > target; ++it) {
+    if ((*it)->state() == Worker::State::kActive ||
+        (*it)->state() == Worker::State::kColdStarting) {
+      (*it)->BeginDraining();
+      --provisioned;
+    }
+  }
+}
+
+void ModuleRuntime::FailWorkers(int count) {
+  for (auto& worker : workers_) {
+    if (count <= 0) {
+      break;
+    }
+    if (worker->state() == Worker::State::kActive) {
+      worker->Fail();
+      --count;
+    }
+  }
+  ReapRetired();
+}
+
+void ModuleRuntime::ReapRetired() {
+  workers_.erase(std::remove_if(workers_.begin(), workers_.end(),
+                                [](const std::shared_ptr<Worker>& w) {
+                                  return w->state() == Worker::State::kRetired;
+                                }),
+                 workers_.end());
+}
+
+}  // namespace pard

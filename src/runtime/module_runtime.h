@@ -1,0 +1,114 @@
+// Per-module controller: dispatching, state collection and publication.
+//
+// Plays the paper's controller role for one module — the State Planner's
+// monitoring half lives here (queue-delay window, rate tracking, batch-wait
+// reservoir, load factor, burstiness) and is published to the StateBoard on
+// every sync tick; the estimation half (w_k, L_sub) lives in src/core and
+// reads the board.
+#ifndef PARD_RUNTIME_MODULE_RUNTIME_H_
+#define PARD_RUNTIME_MODULE_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/model_profile.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/drop_policy.h"
+#include "runtime/request.h"
+#include "runtime/runtime_options.h"
+#include "runtime/state_board.h"
+#include "runtime/worker.h"
+#include "sim/simulation.h"
+#include "stats/reservoir.h"
+#include "stats/sliding_window.h"
+
+namespace pard {
+
+class PipelineRuntime;
+
+class ModuleRuntime {
+ public:
+  ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const ModuleSpec& spec,
+                const ModelProfile& profile, int batch_size, int initial_workers,
+                const RuntimeOptions& options, DropPolicy* policy);
+
+  // Delivery from the dispatcher (or pipeline ingress).
+  void Receive(RequestPtr req);
+
+  // Computes and publishes this module's ModuleState.
+  void Sync(SimTime now, StateBoard* board);
+
+  // Scaling: adjusts the active+warming worker pool toward `target`.
+  void SetTargetWorkers(int target);
+
+  // Failure injection: kills up to `count` active workers (their queued and
+  // in-flight requests are lost).
+  void FailWorkers(int count);
+
+  int module_id() const { return spec_.id; }
+  int batch_size() const { return batch_size_; }
+  const ModelProfile& profile() const { return profile_; }
+  DropPolicy* policy() const { return policy_; }
+  PipelineRuntime* pipeline() const { return pipeline_; }
+  Simulation* sim() const { return sim_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  int ActiveWorkers() const;
+  int ProvisionedWorkers() const;  // Active + cold-starting.
+  double PerWorkerThroughput() const { return profile_.Throughput(batch_size_); }
+  double SmoothedInputRate(SimTime now);
+
+  // True execution duration for a batch: the profiled d(batch) with the
+  // configured multiplicative jitter applied.
+  Duration SampleExecDuration(int batch);
+
+  // --- Hooks invoked by workers -------------------------------------------
+  void RecordQueueDelay(SimTime now, Duration q_delay);
+  void RecordBatchWait(SimTime now, Duration wait);
+  void RecordStageLatency(SimTime now, Duration stage_latency);
+  void OnExecuted(RequestPtr req);          // Forward downstream.
+  void OnPolicyDrop(RequestPtr req);        // Request Broker dropped it.
+
+ private:
+  friend class Worker;
+
+  Worker* ChooseWorker();
+  void ReapRetired();
+
+  Simulation* sim_;
+  PipelineRuntime* pipeline_;
+  ModuleSpec spec_;
+  const ModelProfile& profile_;
+  int batch_size_;
+  RuntimeOptions options_;
+  DropPolicy* policy_;
+  Rng jitter_rng_;
+
+  // shared_ptr so deferred cold-start events can hold weak references and
+  // safely no-op if the worker was drained and reaped in the meantime.
+  std::vector<std::shared_ptr<Worker>> workers_;
+  int next_worker_id_ = 0;
+  std::size_t rr_cursor_ = 0;
+
+  // State-planner monitoring.
+  SlidingWindow queue_delay_window_;
+  SlidingWindow stage_latency_window_;
+  RecentReservoir wait_reservoir_;
+  // Per-second arrival bins for input rate / burstiness (covers the stats
+  // window).
+  struct RateBin {
+    SimTime start;
+    int count;
+  };
+  std::deque<RateBin> rate_bins_;
+  void BumpRate(SimTime now);
+  void EvictRateBins(SimTime now);
+  double RawInputRate(SimTime now);
+  double Burstiness(SimTime now);
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_MODULE_RUNTIME_H_

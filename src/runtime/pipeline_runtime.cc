@@ -1,0 +1,214 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "models/registry.h"
+#include "runtime/batch_planner.h"
+
+namespace pard {
+
+PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions& options,
+                                 DropPolicy* policy, double expected_rate)
+    : spec_(spec),
+      options_(options),
+      policy_(policy),
+      board_(spec.NumModules()),
+      rng_(options.seed),
+      batch_sizes_(PlanBatchSizes(spec)) {
+  PARD_CHECK(policy_ != nullptr);
+  std::vector<int> workers;
+  if (!options_.fixed_workers.empty()) {
+    PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
+                   "fixed_workers size must match module count");
+    workers = options_.fixed_workers;
+  } else {
+    workers = PlanWorkers(spec_, batch_sizes_, expected_rate, options_.provision_headroom,
+                          options_.max_workers_per_module, options_.total_gpus);
+  }
+  policy_->Bind(&spec_, &board_);
+  for (const ModuleSpec& m : spec_.modules()) {
+    modules_.push_back(std::make_unique<ModuleRuntime>(
+        &sim_, this, m, ProfileRegistry::Get(m.model),
+        batch_sizes_[static_cast<std::size_t>(m.id)], workers[static_cast<std::size_t>(m.id)],
+        options_, policy_));
+  }
+  // Periodic control-plane ticks.
+  sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
+  if (options_.enable_scaling) {
+    sim_.ScheduleAfter(options_.scaling_epoch, [this] { ScalingTick(); });
+  }
+  // Injected machine failures.
+  for (const RuntimeOptions::FailureEvent& failure : options_.failures) {
+    PARD_CHECK(failure.module_id >= 0 && failure.module_id < spec_.NumModules());
+    sim_.ScheduleAt(failure.at, [this, failure] {
+      modules_[static_cast<std::size_t>(failure.module_id)]->FailWorkers(failure.workers);
+    });
+  }
+}
+
+ModuleRuntime& PipelineRuntime::module(int id) {
+  PARD_CHECK(id >= 0 && id < static_cast<int>(modules_.size()));
+  return *modules_[static_cast<std::size_t>(id)];
+}
+
+void PipelineRuntime::ScheduleArrival(SimTime t) {
+  last_arrival_ = std::max(last_arrival_, t);
+  sim_.ScheduleAt(t, [this] { Inject(); });
+}
+
+void PipelineRuntime::Inject() {
+  auto req = std::make_shared<Request>();
+  req->id = next_request_id_++;
+  req->sent = sim_.Now();
+  req->slo = spec_.slo();
+  req->deadline = req->sent + req->slo;
+  req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
+  req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
+  if (options_.dynamic_paths) {
+    AssignDynamicPath(*req);
+  }
+  requests_.push_back(req);
+  Deliver(std::move(req), spec_.SourceModule());
+}
+
+void PipelineRuntime::AssignDynamicPath(Request& req) {
+  const int n = spec_.NumModules();
+  req.branch_choice.assign(static_cast<std::size_t>(n), -1);
+  req.expected_arrivals.assign(static_cast<std::size_t>(n), 0);
+  // Draw the branch taken at every fork, then propagate reachability so each
+  // merge knows how many deliveries to expect for this request.
+  std::vector<bool> active(static_cast<std::size_t>(n), false);
+  active[static_cast<std::size_t>(spec_.SourceModule())] = true;
+  for (int id : spec_.TopoOrder()) {
+    if (!active[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    const ModuleSpec& m = spec_.Module(id);
+    if (m.subs.size() > 1) {
+      const int pick = static_cast<int>(
+          rng_.UniformInt(0, static_cast<std::int64_t>(m.subs.size()) - 1));
+      const int chosen = m.subs[static_cast<std::size_t>(pick)];
+      req.branch_choice[static_cast<std::size_t>(id)] = chosen;
+      active[static_cast<std::size_t>(chosen)] = true;
+      ++req.expected_arrivals[static_cast<std::size_t>(chosen)];
+    } else {
+      for (int s : m.subs) {
+        active[static_cast<std::size_t>(s)] = true;
+        ++req.expected_arrivals[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+}
+
+void PipelineRuntime::Deliver(RequestPtr req, int module_id) {
+  // Network hop between client/module and module.
+  RequestPtr captured = std::move(req);
+  sim_.ScheduleAfter(options_.network_delay, [this, captured, module_id]() mutable {
+    const ModuleSpec& m = spec_.Module(module_id);
+    if (m.pres.size() > 1) {
+      // DAG merge: enqueue only once all expected branches delivered (all
+      // pres for static routing; possibly fewer under dynamic paths).
+      int& arrived = captured->merge_arrivals[static_cast<std::size_t>(module_id)];
+      ++arrived;
+      if (captured->Terminal()) {
+        return;  // A sibling branch was dropped; nothing to merge.
+      }
+      const int expected =
+          captured->HasDynamicPath()
+              ? captured->expected_arrivals[static_cast<std::size_t>(module_id)]
+              : static_cast<int>(m.pres.size());
+      if (arrived < expected) {
+        return;
+      }
+    }
+    modules_[static_cast<std::size_t>(module_id)]->Receive(std::move(captured));
+  });
+}
+
+void PipelineRuntime::OnModuleDone(RequestPtr req, int module_id) {
+  if (req->Terminal()) {
+    return;  // Dropped on a parallel branch while this one executed.
+  }
+  const ModuleSpec& m = spec_.Module(module_id);
+  if (m.subs.empty()) {
+    Complete(std::move(req));
+    return;
+  }
+  if (req->HasDynamicPath() && m.subs.size() > 1) {
+    Deliver(req, req->branch_choice[static_cast<std::size_t>(module_id)]);
+    return;
+  }
+  for (int sub : m.subs) {
+    Deliver(req, sub);
+  }
+}
+
+void PipelineRuntime::Drop(RequestPtr req, int module_id) {
+  if (req->Terminal()) {
+    return;
+  }
+  req->fate = RequestFate::kDropped;
+  req->drop_module = module_id;
+  req->finish = sim_.Now();
+}
+
+void PipelineRuntime::Complete(RequestPtr req) {
+  req->finish = sim_.Now();
+  req->fate = req->finish <= req->deadline ? RequestFate::kCompleted : RequestFate::kLate;
+}
+
+void PipelineRuntime::SyncTick() {
+  const SimTime now = sim_.Now();
+  for (auto& m : modules_) {
+    m->Sync(now, &board_);
+  }
+  policy_->OnSync(now);
+  if (now <= last_arrival_ + options_.drain) {
+    sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
+  }
+}
+
+void PipelineRuntime::ScalingTick() {
+  const SimTime now = sim_.Now();
+  WorkerSample sample;
+  sample.t = now;
+  for (auto& m : modules_) {
+    const double rate = m->SmoothedInputRate(now);
+    const double per_worker = m->PerWorkerThroughput();
+    int target = m->ProvisionedWorkers();
+    if (rate > 0.0 && per_worker > 0.0) {
+      target = static_cast<int>(std::ceil(rate * options_.provision_headroom / per_worker));
+    }
+    m->SetTargetWorkers(target);
+    sample.workers.push_back(m->ActiveWorkers());
+  }
+  worker_history_.push_back(std::move(sample));
+  if (now <= last_arrival_ + options_.drain) {
+    sim_.ScheduleAfter(options_.scaling_epoch, [this] { ScalingTick(); });
+  }
+}
+
+void PipelineRuntime::Run(SimTime until) { sim_.Run(until); }
+
+void PipelineRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
+  PARD_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival timestamps must be sorted");
+  for (SimTime t : arrivals) {
+    ScheduleArrival(t);
+  }
+  sim_.Run();
+  // Any request still in flight after the queues fully drain is abandoned
+  // (can only happen via infrastructure corner cases); account it as late so
+  // conservation holds.
+  for (const RequestPtr& req : requests_) {
+    if (!req->Terminal()) {
+      req->fate = RequestFate::kLate;
+      req->finish = sim_.Now();
+    }
+  }
+}
+
+}  // namespace pard

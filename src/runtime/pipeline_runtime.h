@@ -1,0 +1,88 @@
+// Pipeline runtime: the full serving engine for one application.
+//
+// Owns the simulation kernel, one ModuleRuntime (controller + workers) per
+// pipeline module, the shared StateBoard, the ingress dispatcher, DAG
+// split/merge bookkeeping, the periodic state-sync tick and the optional
+// resource-scaling engine. A run injects a trace of client arrivals and
+// leaves behind the full set of Request records for offline analysis.
+#ifndef PARD_RUNTIME_PIPELINE_RUNTIME_H_
+#define PARD_RUNTIME_PIPELINE_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/drop_policy.h"
+#include "runtime/module_runtime.h"
+#include "runtime/request.h"
+#include "runtime/runtime_options.h"
+#include "runtime/state_board.h"
+#include "sim/simulation.h"
+
+namespace pard {
+
+class PipelineRuntime {
+ public:
+  // `policy` must outlive the runtime. Worker provisioning uses
+  // options.fixed_workers if set, otherwise `expected_rate` with the
+  // configured headroom.
+  PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions& options, DropPolicy* policy,
+                  double expected_rate);
+
+  // Runs the complete trace (sorted client send timestamps) plus drain time.
+  void RunTrace(const std::vector<SimTime>& arrivals);
+
+  // Lower-level API: schedule one client request at time t (must be called
+  // before Run()).
+  void ScheduleArrival(SimTime t);
+  // Runs until `until` (and processes everything scheduled before it).
+  void Run(SimTime until);
+
+  Simulation& sim() { return sim_; }
+  const PipelineSpec& spec() const { return spec_; }
+  const StateBoard& board() const { return board_; }
+  ModuleRuntime& module(int id);
+  const std::vector<int>& batch_sizes() const { return batch_sizes_; }
+
+  // All requests injected so far (terminal after RunTrace); the metrics
+  // library analyzes these.
+  const std::vector<RequestPtr>& requests() const { return requests_; }
+
+  // Worker-count history per module: (time, active workers), recorded at
+  // each scaling epoch. Used by the cold-start analysis bench.
+  struct WorkerSample {
+    SimTime t;
+    std::vector<int> workers;
+  };
+  const std::vector<WorkerSample>& worker_history() const { return worker_history_; }
+
+  // --- Internal transitions (called by ModuleRuntime/Worker) --------------
+  void OnModuleDone(RequestPtr req, int module_id);
+  void Drop(RequestPtr req, int module_id);
+
+ private:
+  void Inject();
+  void AssignDynamicPath(Request& req);
+  void SyncTick();
+  void ScalingTick();
+  void Deliver(RequestPtr req, int module_id);
+  void Complete(RequestPtr req);
+
+  PipelineSpec spec_;
+  RuntimeOptions options_;
+  DropPolicy* policy_;
+  Simulation sim_;
+  StateBoard board_;
+  Rng rng_;
+  std::vector<int> batch_sizes_;
+  std::vector<std::unique_ptr<ModuleRuntime>> modules_;
+  std::vector<RequestPtr> requests_;
+  std::vector<WorkerSample> worker_history_;
+  std::uint64_t next_request_id_ = 1;
+  SimTime last_arrival_ = 0;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_PIPELINE_RUNTIME_H_

@@ -1,0 +1,52 @@
+#include "runtime/request_queue.h"
+
+#include <utility>
+
+namespace pard {
+
+void RequestQueue::Push(RequestPtr req) {
+  const std::uint64_t seq = next_seq_++;
+  Entry entry{req->deadline, seq, std::move(req)};
+  live_.insert(seq);
+  fifo_.push_back(entry);
+  heap_.Push(std::move(entry));
+}
+
+SimTime RequestQueue::MinDeadline() {
+  while (!heap_.Empty() && live_.count(heap_.Min().seq) == 0) {
+    heap_.PopMin();  // Lazily discard entries consumed through the FIFO view.
+  }
+  return heap_.Empty() ? kSimTimeMax : heap_.Min().deadline;
+}
+
+RequestPtr RequestQueue::Pop(PopSide side) {
+  while (!live_.empty()) {
+    Entry entry;
+    if (side == PopSide::kOldest) {
+      if (fifo_.empty()) {
+        break;
+      }
+      entry = std::move(fifo_.front());
+      fifo_.pop_front();
+    } else if (side == PopSide::kMinBudget) {
+      if (heap_.Empty()) {
+        break;
+      }
+      entry = heap_.PopMin();
+    } else {
+      if (heap_.Empty()) {
+        break;
+      }
+      entry = heap_.PopMax();
+    }
+    const auto it = live_.find(entry.seq);
+    if (it == live_.end()) {
+      continue;  // Already consumed through the other view.
+    }
+    live_.erase(it);
+    return std::move(entry.req);
+  }
+  return nullptr;
+}
+
+}  // namespace pard

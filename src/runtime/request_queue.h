@@ -1,0 +1,67 @@
+// Per-worker request queue: PARD's DEPQ plus FIFO access.
+//
+// The Request Broker pops requests by remaining latency budget — smallest
+// (LBF) or largest (HBF) — while reactive baselines pop in arrival order.
+// All three orders are exposed by maintaining a min-max heap keyed by
+// deadline alongside an arrival deque, with lazy invalidation: an entry
+// popped through one view is skipped when encountered through the other.
+#ifndef PARD_RUNTIME_REQUEST_QUEUE_H_
+#define PARD_RUNTIME_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "runtime/request.h"
+#include "stats/minmax_heap.h"
+
+namespace pard {
+
+// Which end of the queue the broker should consume next.
+enum class PopSide {
+  kOldest,     // FIFO / arrival order (reactive baselines, PARD-FCFS).
+  kMinBudget,  // Smallest remaining budget first (LBF).
+  kMaxBudget,  // Largest remaining budget first (HBF).
+};
+
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+
+  void Push(RequestPtr req);
+
+  // Pops the next live entry from the requested side; returns nullptr when
+  // empty. O(log n) amortized.
+  RequestPtr Pop(PopSide side);
+
+  // Earliest deadline among queued requests; kSimTimeMax when empty. Lets
+  // the broker purge requests that are already unservable regardless of
+  // policy (deadline passed while queued).
+  SimTime MinDeadline();
+
+  std::size_t Size() const { return live_.size(); }
+  bool Empty() const { return live_.empty(); }
+
+ private:
+  struct Entry {
+    SimTime deadline;
+    std::uint64_t seq;
+    RequestPtr req;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // Deadline is the remaining-budget priority (now is common to all
+      // queued requests); seq breaks ties deterministically.
+      return a.deadline != b.deadline ? a.deadline < b.deadline : a.seq < b.seq;
+    }
+  };
+
+  std::uint64_t next_seq_ = 1;
+  MinMaxHeap<Entry, EntryLess> heap_;
+  std::deque<Entry> fifo_;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_REQUEST_QUEUE_H_

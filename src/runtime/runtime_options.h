@@ -1,0 +1,69 @@
+// Configuration for the serving runtime.
+#ifndef PARD_RUNTIME_RUNTIME_OPTIONS_H_
+#define PARD_RUNTIME_RUNTIME_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace pard {
+
+struct RuntimeOptions {
+  std::uint64_t seed = 42;
+
+  // Controller state-sync period (paper: once per second).
+  Duration sync_period = 1 * kUsPerSec;
+  // Sliding-window length for queue-delay smoothing and rate tracking
+  // (paper default: 5 s linear-weighted).
+  Duration stats_window = 5 * kUsPerSec;
+  // Capacity of the per-module batch-wait reservoir (paper: M = 10 000).
+  int reservoir_capacity = 10000;
+
+  // Per-hop transfer latency between modules (data-plane network).
+  Duration network_delay = 500;
+
+  // Multiplicative execution-time jitter: each batch executes for
+  // d(batch) * N(1, exec_jitter), floored at half the profiled duration.
+  // 0 = deterministic (default). Models the gap between offline profiles
+  // and real GPU behaviour; stresses the estimator's D terms.
+  double exec_jitter = 0.0;
+
+  // Provisioning. When `fixed_workers` is non-empty it gives the worker
+  // count per module and scaling is disabled; otherwise workers are
+  // provisioned from the trace rate with `provision_headroom`, and the
+  // scaling engine (if enabled) adjusts them at runtime.
+  std::vector<int> fixed_workers;
+  double provision_headroom = 1.15;
+  bool enable_scaling = false;
+  Duration scaling_epoch = 10 * kUsPerSec;
+  Duration cold_start = 2 * kUsPerSec;  // Model cold start on scale-up.
+  int max_workers_per_module = 32;
+  int total_gpus = 64;  // Cluster size (paper testbed: 64 GPU containers).
+
+  // Virtual time to keep draining after the last arrival so in-flight
+  // requests resolve.
+  Duration drain = 5 * kUsPerSec;
+
+  // Dynamic request paths (§5.2's "request-specific dynamic paths"): at each
+  // fork module the request probabilistically takes exactly ONE branch
+  // (chosen from intermediate results in the real system; sampled uniformly
+  // here). Amplifies latency uncertainty and degrades estimation accuracy
+  // unless the policy uses path prediction.
+  bool dynamic_paths = false;
+
+  // Failure injection: at `at`, `workers` GPUs serving `module_id` fail.
+  // In-flight and queued requests on the failed workers are lost, and the
+  // scaling engine (if enabled) replaces capacity after a cold start — the
+  // paper's "machine failure" disturbance (§1, §2).
+  struct FailureEvent {
+    SimTime at = 0;
+    int module_id = 0;
+    int workers = 1;
+  };
+  std::vector<FailureEvent> failures;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_RUNTIME_OPTIONS_H_

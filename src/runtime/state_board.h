@@ -1,0 +1,78 @@
+// Shared runtime-state board.
+//
+// Each module's controller (State Planner role) publishes a compact state
+// snapshot once per sync period (default 1 s, matching the paper's state
+// synchronization); policies read the latest snapshots of *other* modules to
+// estimate downstream latency. Snapshots are therefore up to one period
+// stale, exactly like the gRPC state exchange in the real system.
+#ifndef PARD_RUNTIME_STATE_BOARD_H_
+#define PARD_RUNTIME_STATE_BOARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time_types.h"
+
+namespace pard {
+
+struct ModuleState {
+  int module_id = -1;
+  SimTime updated_at = 0;
+
+  // Recent average queueing delay q_i (5 s linear-weighted window), in us.
+  double avg_queue_delay = 0.0;
+  // Worst observed stage latency Q+W+D in the window (PARD-WCL ablation).
+  double worst_stage_latency = 0.0;
+
+  // Current batching plan.
+  int batch_size = 1;
+  Duration batch_duration = 1;  // d_i at batch_size, us.
+
+  // Capacity and load.
+  int num_workers = 1;
+  double per_worker_throughput = 0.0;  // req/s.
+  double input_rate = 0.0;             // Recent arrivals, req/s.
+  double smoothed_rate = 0.0;          // Window-smoothed arrivals, req/s.
+  double load_factor = 0.0;            // mu = T_in / T_m.
+  double burstiness = 0.0;             // eps = sum|T_in - T_s| / sum T_in.
+
+  // Sorted snapshot of recent per-request batch waits (us). Empty until the
+  // module has observed traffic; estimators fall back to the uniform [0, d]
+  // model in that case.
+  std::vector<double> wait_samples;
+};
+
+class StateBoard {
+ public:
+  explicit StateBoard(int num_modules)
+      : states_(static_cast<std::size_t>(num_modules)) {
+    for (int i = 0; i < num_modules; ++i) {
+      states_[static_cast<std::size_t>(i)].module_id = i;
+    }
+  }
+
+  int NumModules() const { return static_cast<int>(states_.size()); }
+
+  const ModuleState& Get(int module_id) const {
+    PARD_CHECK(module_id >= 0 && module_id < NumModules());
+    return states_[static_cast<std::size_t>(module_id)];
+  }
+
+  void Publish(ModuleState state) {
+    PARD_CHECK(state.module_id >= 0 && state.module_id < NumModules());
+    states_[static_cast<std::size_t>(state.module_id)] = std::move(state);
+    ++version_;
+  }
+
+  // Monotone counter bumped on every publish; estimator caches key on it.
+  std::uint64_t Version() const { return version_; }
+
+ private:
+  std::vector<ModuleState> states_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_STATE_BOARD_H_

@@ -1,0 +1,172 @@
+#include "runtime/worker.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/module_runtime.h"
+
+namespace pard {
+
+Worker::Worker(Simulation* sim, ModuleRuntime* module, int worker_id)
+    : sim_(sim), module_(module), worker_id_(worker_id) {}
+
+std::size_t Worker::Load() const {
+  return queue_.Size() + forming_.size() + executing_batch_.size();
+}
+
+void Worker::Activate() {
+  PARD_CHECK(state_ == State::kColdStarting);
+  state_ = State::kActive;
+  // Work may have been queued while warming (dispatch avoids cold workers,
+  // but keep the invariant that an active worker drains its queue).
+  FillFormingBatch();
+  MaybeLaunch();
+}
+
+void Worker::BeginDraining() {
+  if (state_ == State::kActive || state_ == State::kColdStarting) {
+    state_ = State::kDraining;
+    if (Idle()) {
+      state_ = State::kRetired;
+    }
+  }
+}
+
+void Worker::Enqueue(RequestPtr req) {
+  PARD_CHECK(state_ == State::kActive);
+  HopRecord& hop = req->hops[static_cast<std::size_t>(module_->module_id())];
+  hop.arrive = sim_->Now();
+  queue_.Push(std::move(req));
+  FillFormingBatch();
+  MaybeLaunch();
+}
+
+void Worker::FillFormingBatch() {
+  DropPolicy* policy = module_->policy();
+  const int batch_size = module_->batch_size();
+  if (policy->PurgeExpired()) {
+    // Requests whose deadline passed while queued are unservable under any
+    // policy; evict them from the min end of the DEPQ so backlogs stay
+    // bounded by the deadline horizon.
+    while (queue_.MinDeadline() < sim_->Now()) {
+      RequestPtr expired = queue_.Pop(PopSide::kMinBudget);
+      if (expired == nullptr) {
+        break;
+      }
+      if (!expired->Terminal()) {
+        expired->hops[static_cast<std::size_t>(module_->module_id())].batch_entry = sim_->Now();
+        module_->OnPolicyDrop(std::move(expired));
+      }
+    }
+  }
+  while (static_cast<int>(forming_.size()) < batch_size && !queue_.Empty()) {
+    const PopSide side = policy->ChoosePopSide(module_->module_id(), sim_->Now());
+    RequestPtr req = queue_.Pop(side);
+    if (req == nullptr) {
+      break;
+    }
+    if (req->Terminal()) {
+      // Dropped on another DAG branch while queued here; discard silently —
+      // no GPU time was spent at this module.
+      continue;
+    }
+    const SimTime now = sim_->Now();
+    AdmissionContext ctx;
+    ctx.request = req.get();
+    ctx.module_id = module_->module_id();
+    ctx.now = now;
+    ctx.batch_start = executing_ ? exec_end_ : now;
+    ctx.batch_duration = module_->profile().BatchDuration(batch_size);
+    ctx.batch_size = batch_size;
+    HopRecord& hop = req->hops[static_cast<std::size_t>(module_->module_id())];
+    if (policy->ShouldDrop(ctx)) {
+      hop.batch_entry = now;
+      module_->OnPolicyDrop(std::move(req));
+      continue;
+    }
+    hop.batch_entry = now;
+    module_->RecordQueueDelay(now, hop.QueueDelay());
+    forming_.push_back(std::move(req));
+  }
+}
+
+void Worker::MaybeLaunch() {
+  if (executing_ || forming_.empty()) {
+    return;
+  }
+  if (state_ != State::kActive && state_ != State::kDraining) {
+    return;
+  }
+  const SimTime now = sim_->Now();
+  executing_batch_ = std::move(forming_);
+  forming_.clear();
+  const int count = static_cast<int>(executing_batch_.size());
+  const Duration d = module_->SampleExecDuration(count);
+  executing_ = true;
+  exec_start_ = now;
+  exec_end_ = now + d;
+  const int module_id = module_->module_id();
+  for (const RequestPtr& req : executing_batch_) {
+    HopRecord& hop = req->hops[static_cast<std::size_t>(module_id)];
+    hop.exec_start = now;
+    module_->RecordBatchWait(now, hop.BatchWait());
+  }
+  exec_event_ = sim_->ScheduleAt(exec_end_, [this] { OnBatchComplete(); });
+}
+
+void Worker::Fail() {
+  if (state_ == State::kRetired) {
+    return;
+  }
+  const int module_id = module_->module_id();
+  // Executing batch is lost mid-flight; its GPU time so far is wasted but
+  // unattributed (the batch never completed).
+  if (executing_) {
+    sim_->Cancel(exec_event_);
+    for (RequestPtr& req : executing_batch_) {
+      module_->OnPolicyDrop(std::move(req));
+    }
+    executing_batch_.clear();
+    executing_ = false;
+  }
+  for (RequestPtr& req : forming_) {
+    module_->OnPolicyDrop(std::move(req));
+  }
+  forming_.clear();
+  while (!queue_.Empty()) {
+    RequestPtr req = queue_.Pop(PopSide::kOldest);
+    if (req != nullptr && !req->Terminal()) {
+      req->hops[static_cast<std::size_t>(module_id)].batch_entry = sim_->Now();
+      module_->OnPolicyDrop(std::move(req));
+    }
+  }
+  state_ = State::kRetired;
+}
+
+void Worker::OnBatchComplete() {
+  const SimTime now = sim_->Now();
+  PARD_CHECK(executing_);
+  const int count = static_cast<int>(executing_batch_.size());
+  const Duration d = now - exec_start_;
+  const Duration gpu_share = d / count;
+  const int module_id = module_->module_id();
+  std::vector<RequestPtr> done = std::move(executing_batch_);
+  executing_batch_.clear();
+  executing_ = false;
+  for (RequestPtr& req : done) {
+    HopRecord& hop = req->hops[static_cast<std::size_t>(module_id)];
+    hop.exec_end = now;
+    hop.gpu_time = gpu_share;
+    hop.executed = true;
+    module_->RecordStageLatency(now, now - hop.arrive);
+    module_->OnExecuted(std::move(req));
+  }
+  // Top up the forming batch with any backlog and go again back-to-back.
+  FillFormingBatch();
+  MaybeLaunch();
+  if (state_ == State::kDraining && Idle()) {
+    state_ = State::kRetired;
+  }
+}
+
+}  // namespace pard

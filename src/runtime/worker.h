@@ -1,0 +1,83 @@
+// Simulated GPU worker.
+//
+// A worker serves one module on one (virtual) GPU. It implements the
+// batching discipline of the paper's Fig. 3b: while a batch executes, the
+// next batch is formed from the queue; requests admitted to the forming
+// batch at t_b start executing at t_e (the running batch's end), giving each
+// request a batch wait W = t_e - t_b in [0, d]. An idle worker launches
+// immediately (W = 0). The drop decision (Request Broker) happens exactly at
+// admission time, when t_e and d_k are known.
+#ifndef PARD_RUNTIME_WORKER_H_
+#define PARD_RUNTIME_WORKER_H_
+
+#include <vector>
+
+#include "runtime/drop_policy.h"
+#include "runtime/request.h"
+#include "runtime/request_queue.h"
+#include "sim/simulation.h"
+
+namespace pard {
+
+class ModuleRuntime;
+
+class Worker {
+ public:
+  enum class State {
+    kColdStarting,  // Provisioned but still loading the model.
+    kActive,
+    kDraining,  // Excluded from dispatch; finishes its backlog then retires.
+    kRetired,
+  };
+
+  Worker(Simulation* sim, ModuleRuntime* module, int worker_id);
+
+  // Dispatcher entry point: enqueue and, if capacity allows, immediately
+  // pull into the forming batch / start executing.
+  void Enqueue(RequestPtr req);
+
+  // Load metric used by the dispatcher (queued + forming + executing).
+  std::size_t Load() const;
+
+  int worker_id() const { return worker_id_; }
+  State state() const { return state_; }
+  bool Dispatchable() const { return state_ == State::kActive; }
+  bool Idle() const { return !executing_ && forming_.empty() && queue_.Empty(); }
+
+  // Scaling transitions.
+  void Activate();                 // Cold start finished.
+  void BeginDraining();            // Stop receiving work; retire when empty.
+
+  // Hard failure: the GPU dies. All queued, forming and executing requests
+  // are lost (dropped at this module); the worker retires immediately.
+  void Fail();
+
+ private:
+  friend class ModuleRuntime;
+
+  // Pulls queued requests into the forming batch, applying the drop policy
+  // per request.
+  void FillFormingBatch();
+
+  // Launches the forming batch if the GPU is free.
+  void MaybeLaunch();
+
+  void OnBatchComplete();
+
+  Simulation* sim_;
+  ModuleRuntime* module_;
+  int worker_id_;
+  State state_ = State::kColdStarting;
+
+  RequestQueue queue_;
+  std::vector<RequestPtr> forming_;
+  bool executing_ = false;
+  SimTime exec_end_ = 0;
+  std::vector<RequestPtr> executing_batch_;
+  SimTime exec_start_ = 0;
+  EventId exec_event_ = 0;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_WORKER_H_

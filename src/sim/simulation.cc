@@ -1,0 +1,70 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pard {
+
+EventId Simulation::ScheduleAt(SimTime t, Callback cb) {
+  PARD_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulation::ScheduleAfter(Duration delay, Callback cb) {
+  PARD_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulation::Cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulation::Step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    const auto cb_it = callbacks_.find(top.id);
+    PARD_CHECK(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = top.t;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run(SimTime until) {
+  while (!heap_.empty()) {
+    // Skip leading cancelled entries so the peek below sees a live event.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().t > until) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < until && until != kSimTimeMax) {
+    now_ = until;
+  }
+}
+
+}  // namespace pard

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over virtual time. Events scheduled for the
+// same instant fire in scheduling order (monotone sequence number tie-break),
+// which makes runs fully deterministic. Cancellation is lazy: a cancelled
+// event stays in the heap but is skipped when popped.
+#ifndef PARD_SIM_SIMULATION_H_
+#define PARD_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace pard {
+
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (must be >= Now()). Returns an id
+  // usable with Cancel().
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  // Schedules `cb` after `delay` (must be >= 0).
+  EventId ScheduleAfter(Duration delay, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op and returns false.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or virtual time would exceed
+  // `until`. Events exactly at `until` are executed.
+  void Run(SimTime until = kSimTimeMax);
+
+  // Executes the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  // Pending (non-cancelled) event count.
+  std::size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+
+  // Total events executed so far (diagnostics / perf counters).
+  std::uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      return t != other.t ? t > other.t : id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Callbacks are stored separately so the heap stays POD-light.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SIM_SIMULATION_H_

@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pard {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  PARD_CHECK(hi > lo);
+  PARD_CHECK(buckets > 0);
+  counts_.assign(buckets + 2, 0);
+}
+
+std::size_t Histogram::BucketOf(double value) const {
+  if (value < lo_) {
+    return 0;
+  }
+  if (value >= hi_) {
+    return counts_.size() - 1;
+  }
+  const std::size_t idx = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(idx + 1, counts_.size() - 2);
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BucketOf(value)];
+  ++total_;
+}
+
+double Histogram::CdfAt(double x) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::int64_t acc = 0;
+  const std::size_t target = BucketOf(x);
+  for (std::size_t i = 0; i <= target; ++i) {
+    acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]);
+    if (acc >= target) {
+      if (i == 0) {
+        return lo_;
+      }
+      if (i == counts_.size() - 1) {
+        return hi_;
+      }
+      return lo_ + (static_cast<double>(i - 1) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::CdfRows(int max_rows) const {
+  std::ostringstream os;
+  if (total_ == 0) {
+    return "(empty)\n";
+  }
+  const std::size_t inner = counts_.size() - 2;
+  const std::size_t step = std::max<std::size_t>(1, inner / static_cast<std::size_t>(max_rows));
+  std::int64_t acc = counts_[0];
+  for (std::size_t i = 0; i < inner; ++i) {
+    acc += counts_[i + 1];
+    if (i % step == step - 1 || i == inner - 1) {
+      const double edge = lo_ + static_cast<double>(i + 1) * width_;
+      const double cdf = static_cast<double>(acc) / static_cast<double>(total_);
+      os << edge << "\t" << cdf * 100.0 << "%\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pard

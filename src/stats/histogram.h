@@ -1,0 +1,42 @@
+// Fixed-width bucket histogram for latency reporting (CDF panels in the
+// paper's Fig. 12b and Fig. 15b).
+#ifndef PARD_STATS_HISTOGRAM_H_
+#define PARD_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pard {
+
+class Histogram {
+ public:
+  // Buckets cover [lo, hi) in `buckets` equal slices, plus underflow and
+  // overflow buckets.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double value);
+
+  std::int64_t Count() const { return total_; }
+  // Fraction of samples <= x (bucket-resolution approximation).
+  double CdfAt(double x) const;
+  // Approximate quantile from bucket midpoints.
+  double Quantile(double q) const;
+
+  // Renders "value cdf%" rows, one per non-empty bucket edge — handy for
+  // text-mode CDF plots in the benches.
+  std::string CdfRows(int max_rows = 20) const;
+
+ private:
+  std::size_t BucketOf(double value) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::int64_t> counts_;  // [0]=underflow, [n+1]=overflow
+  std::int64_t total_ = 0;
+};
+
+}  // namespace pard
+
+#endif  // PARD_STATS_HISTOGRAM_H_

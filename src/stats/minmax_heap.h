@@ -1,0 +1,213 @@
+// Min–max heap: a complete binary heap supporting O(1) access and O(log n)
+// removal of BOTH the minimum and maximum element.
+//
+// This is the substrate of PARD's DEPQ (double-ended priority queue): the
+// Request Broker pops the request with the smallest remaining latency budget
+// under LBF and the largest under HBF (paper §4.3, "implements both
+// prioritization strategies using a DEPQ ... using a min-max heap").
+//
+// Layout: array-backed complete tree where even levels (root = level 0) obey
+// the min property and odd levels the max property [Atkinson et al., 1986].
+#ifndef PARD_STATS_MINMAX_HEAP_H_
+#define PARD_STATS_MINMAX_HEAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pard {
+
+template <typename T, typename Less = std::less<T>>
+class MinMaxHeap {
+ public:
+  explicit MinMaxHeap(Less less = Less()) : less_(std::move(less)) {}
+
+  bool Empty() const { return data_.empty(); }
+  std::size_t Size() const { return data_.size(); }
+  void Clear() { data_.clear(); }
+
+  void Push(T value) {
+    data_.push_back(std::move(value));
+    BubbleUp(data_.size() - 1);
+  }
+
+  // Smallest element. Requires non-empty.
+  const T& Min() const {
+    PARD_CHECK(!data_.empty());
+    return data_[0];
+  }
+
+  // Largest element. Requires non-empty.
+  const T& Max() const {
+    PARD_CHECK(!data_.empty());
+    return data_[MaxIndex()];
+  }
+
+  T PopMin() {
+    PARD_CHECK(!data_.empty());
+    return PopAt(0);
+  }
+
+  T PopMax() {
+    PARD_CHECK(!data_.empty());
+    return PopAt(MaxIndex());
+  }
+
+  // Validates the min-max heap invariant over the whole array. Test-only
+  // helper; O(n log n).
+  bool Validate() const {
+    for (std::size_t i = 1; i < data_.size(); ++i) {
+      for (std::size_t a = Parent(i); ; a = Parent(a)) {
+        if (IsMinLevel(a)) {
+          if (less_(data_[i], data_[a])) {
+            return false;
+          }
+        } else {
+          if (less_(data_[a], data_[i])) {
+            return false;
+          }
+        }
+        if (a == 0) {
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  static std::size_t Parent(std::size_t i) { return (i - 1) / 2; }
+  static std::size_t Left(std::size_t i) { return 2 * i + 1; }
+
+  static bool IsMinLevel(std::size_t i) {
+    // Level of node i is floor(log2(i + 1)); even levels are min levels.
+    int level = 0;
+    std::size_t n = i + 1;
+    while (n >>= 1) {
+      ++level;
+    }
+    return (level % 2) == 0;
+  }
+
+  std::size_t MaxIndex() const {
+    if (data_.size() == 1) {
+      return 0;
+    }
+    if (data_.size() == 2) {
+      return 1;
+    }
+    return less_(data_[1], data_[2]) ? 2 : 1;
+  }
+
+  T PopAt(std::size_t i) {
+    T out = std::move(data_[i]);
+    const std::size_t last = data_.size() - 1;
+    if (i != last) {
+      data_[i] = std::move(data_[last]);
+      data_.pop_back();
+      // The moved element may violate either direction.
+      TrickleDown(i);
+      BubbleUp(i);
+    } else {
+      data_.pop_back();
+    }
+    return out;
+  }
+
+  void BubbleUp(std::size_t i) {
+    if (i == 0) {
+      return;
+    }
+    const std::size_t parent = Parent(i);
+    if (IsMinLevel(i)) {
+      if (less_(data_[parent], data_[i])) {
+        std::swap(data_[i], data_[parent]);
+        BubbleUpDir(parent, /*min_dir=*/false);
+      } else {
+        BubbleUpDir(i, /*min_dir=*/true);
+      }
+    } else {
+      if (less_(data_[i], data_[parent])) {
+        std::swap(data_[i], data_[parent]);
+        BubbleUpDir(parent, /*min_dir=*/true);
+      } else {
+        BubbleUpDir(i, /*min_dir=*/false);
+      }
+    }
+  }
+
+  // Bubbles node i up through grandparents along one direction.
+  void BubbleUpDir(std::size_t i, bool min_dir) {
+    while (i > 2) {
+      const std::size_t gp = Parent(Parent(i));
+      const bool out_of_order =
+          min_dir ? less_(data_[i], data_[gp]) : less_(data_[gp], data_[i]);
+      if (!out_of_order) {
+        return;
+      }
+      std::swap(data_[i], data_[gp]);
+      i = gp;
+    }
+  }
+
+  void TrickleDown(std::size_t i) {
+    if (IsMinLevel(i)) {
+      TrickleDownDir(i, /*min_dir=*/true);
+    } else {
+      TrickleDownDir(i, /*min_dir=*/false);
+    }
+  }
+
+  void TrickleDownDir(std::size_t i, bool min_dir) {
+    const std::size_t n = data_.size();
+    while (true) {
+      // Find extreme among children and grandchildren.
+      std::size_t m = i;
+      bool m_is_grandchild = false;
+      const std::size_t first_child = Left(i);
+      for (std::size_t c = first_child; c < n && c <= first_child + 1; ++c) {
+        if (Extreme(c, m, min_dir)) {
+          m = c;
+          m_is_grandchild = false;
+        }
+        const std::size_t first_gc = Left(c);
+        for (std::size_t g = first_gc; g < n && g <= first_gc + 1; ++g) {
+          if (Extreme(g, m, min_dir)) {
+            m = g;
+            m_is_grandchild = true;
+          }
+        }
+      }
+      if (m == i) {
+        return;
+      }
+      std::swap(data_[i], data_[m]);
+      if (!m_is_grandchild) {
+        return;
+      }
+      // After swapping with a grandchild, the parent of m may now be out of
+      // order relative to m (opposite level).
+      const std::size_t p = Parent(m);
+      const bool parent_wrong =
+          min_dir ? less_(data_[p], data_[m]) : less_(data_[m], data_[p]);
+      if (parent_wrong) {
+        std::swap(data_[m], data_[p]);
+      }
+      i = m;
+    }
+  }
+
+  bool Extreme(std::size_t a, std::size_t b, bool min_dir) const {
+    return min_dir ? less_(data_[a], data_[b]) : less_(data_[b], data_[a]);
+  }
+
+  Less less_;
+  std::vector<T> data_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_STATS_MINMAX_HEAP_H_

@@ -1,0 +1,62 @@
+// Recent-sample reservoir.
+//
+// The State Planner keeps the most recent M (default 10 000, paper footnote 6)
+// batch-wait observations per module and randomly samples them to build the
+// aggregated batch-wait distribution F_{k+1..N}. A ring buffer of the most
+// recent M values implements "random sampling on recent arrivals" — it tracks
+// workload drift instead of mixing in stale samples as a classic reservoir
+// would.
+#ifndef PARD_STATS_RESERVOIR_H_
+#define PARD_STATS_RESERVOIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pard {
+
+class RecentReservoir {
+ public:
+  explicit RecentReservoir(std::size_t capacity) : capacity_(capacity) {
+    PARD_CHECK(capacity > 0);
+    values_.reserve(capacity);
+  }
+
+  void Add(double v) {
+    if (values_.size() < capacity_) {
+      values_.push_back(v);
+    } else {
+      values_[next_] = v;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t Size() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Uniformly random element. Requires non-empty.
+  double Sample(Rng& rng) const {
+    PARD_CHECK(!values_.empty());
+    return values_[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(values_.size()) - 1))];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  void Clear() {
+    values_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_STATS_RESERVOIR_H_

@@ -1,0 +1,47 @@
+// Welford online mean/variance accumulator plus min/max tracking.
+#ifndef PARD_STATS_RUNNING_STAT_H_
+#define PARD_STATS_RUNNING_STAT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pard {
+
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+  }
+
+  void Reset() { *this = RunningStat(); }
+
+  std::int64_t Count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double Variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double Stddev() const { return std::sqrt(Variance()); }
+  double Min() const { return n_ > 0 ? min_ : 0.0; }
+  double Max() const { return n_ > 0 ? max_ : 0.0; }
+  // Coefficient of variation; 0 when the mean is 0.
+  double Cv() const { return Mean() != 0.0 ? Stddev() / Mean() : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pard
+
+#endif  // PARD_STATS_RUNNING_STAT_H_

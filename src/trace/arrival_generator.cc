@@ -1,0 +1,43 @@
+#include "trace/arrival_generator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pard {
+
+std::vector<SimTime> GenerateArrivals(const RateFunction& rate, SimTime begin, SimTime end,
+                                      Rng& rng) {
+  PARD_CHECK(end > begin);
+  const double max_rate = rate.MaxRate();
+  PARD_CHECK_MSG(max_rate > 0.0, "rate function is identically zero");
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(UsToSec(end - begin) * max_rate * 0.7) + 16);
+  double t = UsToSec(begin);
+  const double t_end = UsToSec(end);
+  while (true) {
+    t += rng.Exponential(1.0 / max_rate);
+    if (t >= t_end) {
+      break;
+    }
+    const SimTime ts = SecToUs(t);
+    if (rng.NextDouble() < rate.At(ts) / max_rate) {
+      arrivals.push_back(ts);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<SimTime> GenerateUniformArrivals(double rate_per_sec, SimTime begin, SimTime end) {
+  PARD_CHECK(rate_per_sec > 0.0);
+  PARD_CHECK(end > begin);
+  const Duration gap = static_cast<Duration>(std::llround(1e6 / rate_per_sec));
+  PARD_CHECK(gap > 0);
+  std::vector<SimTime> arrivals;
+  for (SimTime t = begin; t < end; t += gap) {
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace pard

@@ -1,0 +1,25 @@
+// Non-homogeneous Poisson arrival sampling from a RateFunction.
+#ifndef PARD_TRACE_ARRIVAL_GENERATOR_H_
+#define PARD_TRACE_ARRIVAL_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "trace/rate_function.h"
+
+namespace pard {
+
+// Generates arrival timestamps over [begin, end) whose instantaneous
+// intensity follows `rate` (Lewis–Shedler thinning against the curve's max
+// rate). Deterministic in `rng`.
+std::vector<SimTime> GenerateArrivals(const RateFunction& rate, SimTime begin, SimTime end,
+                                      Rng& rng);
+
+// Deterministic (evenly spaced) arrivals at a constant rate — useful in unit
+// tests where Poisson noise would obscure the property under test.
+std::vector<SimTime> GenerateUniformArrivals(double rate_per_sec, SimTime begin, SimTime end);
+
+}  // namespace pard
+
+#endif  // PARD_TRACE_ARRIVAL_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "trace/trace_io.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace pard {
+
+JsonValue RateFunctionToJson(const RateFunction& rate) {
+  JsonArray t_s;
+  JsonArray rates;
+  for (const RateFunction::Point& p : rate.points()) {
+    t_s.emplace_back(UsToSec(p.t));
+    rates.emplace_back(p.rate);
+  }
+  JsonObject obj;
+  obj["t_s"] = std::move(t_s);
+  obj["rate_rps"] = std::move(rates);
+  return JsonValue(std::move(obj));
+}
+
+RateFunction RateFunctionFromJson(const JsonValue& v) {
+  const JsonArray& t_s = v.At("t_s").AsArray();
+  const JsonArray& rates = v.At("rate_rps").AsArray();
+  PARD_CHECK_MSG(t_s.size() == rates.size(), "t_s/rate_rps size mismatch");
+  std::vector<RateFunction::Point> points;
+  points.reserve(t_s.size());
+  for (std::size_t i = 0; i < t_s.size(); ++i) {
+    points.push_back({SecToUs(t_s[i].AsDouble()), rates[i].AsDouble()});
+  }
+  return RateFunction(std::move(points));
+}
+
+std::string RateFunctionToCsv(const RateFunction& rate) {
+  std::ostringstream os;
+  os << "seconds,rate\n";
+  for (const RateFunction::Point& p : rate.points()) {
+    os << UsToSec(p.t) << "," << p.rate << "\n";
+  }
+  return os.str();
+}
+
+RateFunction RateFunctionFromCsv(const std::string& csv) {
+  std::vector<RateFunction::Point> points;
+  bool first = true;
+  for (const std::string& line : Split(csv, '\n')) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (!StartsWith(trimmed, "seconds")) {
+        // Headerless CSV: fall through and parse the row.
+      } else {
+        continue;
+      }
+    }
+    const std::vector<std::string> fields = Split(std::string(trimmed), ',');
+    PARD_CHECK_MSG(fields.size() == 2, "CSV row needs two fields: " << std::string(trimmed));
+    try {
+      points.push_back({SecToUs(std::stod(fields[0])), std::stod(fields[1])});
+    } catch (const std::logic_error&) {
+      PARD_CHECK_MSG(false, "bad CSV number in row: " << std::string(trimmed));
+    }
+  }
+  return RateFunction(std::move(points));
+}
+
+}  // namespace pard

@@ -1,0 +1,25 @@
+// Trace serialization.
+//
+// Rate curves can be exported/imported as JSON (self-describing) or CSV
+// ("seconds,rate" rows), so users can replay their own production traces
+// through the simulator instead of the built-in synthetic ones.
+#ifndef PARD_TRACE_TRACE_IO_H_
+#define PARD_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "jsonio/json.h"
+#include "trace/rate_function.h"
+
+namespace pard {
+
+JsonValue RateFunctionToJson(const RateFunction& rate);
+RateFunction RateFunctionFromJson(const JsonValue& v);
+
+// CSV with a "seconds,rate" header; one point per row.
+std::string RateFunctionToCsv(const RateFunction& rate);
+RateFunction RateFunctionFromCsv(const std::string& csv);
+
+}  // namespace pard
+
+#endif  // PARD_TRACE_TRACE_IO_H_

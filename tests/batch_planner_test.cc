@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "models/registry.h"
+#include "pipeline/apps.h"
+#include "runtime/batch_planner.h"
+
+namespace pard {
+namespace {
+
+TEST(BatchPlanner, BatchSizesFeasible) {
+  for (const std::string& app : AppNames()) {
+    const PipelineSpec spec = MakeApp(app);
+    const std::vector<int> batches = PlanBatchSizes(spec);
+    ASSERT_EQ(static_cast<int>(batches.size()), spec.NumModules());
+    Duration total_d1 = 0;
+    for (const ModuleSpec& m : spec.modules()) {
+      total_d1 += ProfileRegistry::Get(m.model).BatchDuration(1);
+    }
+    for (const ModuleSpec& m : spec.modules()) {
+      const int b = batches[static_cast<std::size_t>(m.id)];
+      EXPECT_GE(b, 1);
+      const ModelProfile& p = ProfileRegistry::Get(m.model);
+      const Duration share = static_cast<Duration>(
+          static_cast<double>(p.BatchDuration(1)) / static_cast<double>(total_d1) *
+          static_cast<double>(spec.slo()));
+      // Either the planned batch fits twice in the share or it is the
+      // minimum batch of 1.
+      EXPECT_TRUE(2 * p.BatchDuration(b) <= share || b == 1) << app << " module " << m.id;
+    }
+  }
+}
+
+TEST(BatchPlanner, TighterSloShrinksBatches) {
+  PipelineSpec spec = MakeLiveVideo();
+  const std::vector<int> loose = PlanBatchSizes(spec);
+  spec.set_slo(MsToUs(200));
+  const std::vector<int> tight = PlanBatchSizes(spec);
+  for (std::size_t i = 0; i < loose.size(); ++i) {
+    EXPECT_LE(tight[i], loose[i]);
+  }
+}
+
+TEST(BatchPlanner, WorkersScaleWithRate) {
+  const PipelineSpec spec = MakeLiveVideo();
+  const std::vector<int> batches = PlanBatchSizes(spec);
+  const std::vector<int> low = PlanWorkers(spec, batches, 50.0, 1.0, 32, 1000);
+  const std::vector<int> high = PlanWorkers(spec, batches, 500.0, 1.0, 32, 1000);
+  for (std::size_t i = 0; i < low.size(); ++i) {
+    EXPECT_GE(high[i], low[i]);
+    EXPECT_GE(low[i], 1);
+  }
+}
+
+TEST(BatchPlanner, WorkersSufficientForRate) {
+  const PipelineSpec spec = MakeTrafficMonitoring();
+  const std::vector<int> batches = PlanBatchSizes(spec);
+  const double rate = 200.0;
+  const std::vector<int> workers = PlanWorkers(spec, batches, rate, 1.1, 32, 1000);
+  for (const ModuleSpec& m : spec.modules()) {
+    const double tput = ProfileRegistry::Get(m.model)
+                            .Throughput(batches[static_cast<std::size_t>(m.id)]) *
+                        workers[static_cast<std::size_t>(m.id)];
+    EXPECT_GE(tput, rate) << "module " << m.id;
+  }
+}
+
+TEST(BatchPlanner, GpuCapScalesDown) {
+  const PipelineSpec spec = MakeLiveVideo();
+  const std::vector<int> batches = PlanBatchSizes(spec);
+  const std::vector<int> workers = PlanWorkers(spec, batches, 5000.0, 1.0, 32, 10);
+  const int total = std::accumulate(workers.begin(), workers.end(), 0);
+  EXPECT_LE(total, 10 + spec.NumModules());  // Floor-to-1 rule allows slight overshoot.
+  for (int w : workers) {
+    EXPECT_GE(w, 1);
+  }
+}
+
+TEST(BatchPlanner, CumulativeSplitMonotoneAndBounded) {
+  for (const std::string& app : AppNames()) {
+    const PipelineSpec spec = MakeApp(app);
+    const std::vector<Duration> budgets = CumulativeSplitBudgets(spec, PlanBatchSizes(spec));
+    // Monotone along every downstream edge; sink equals the full SLO.
+    for (const ModuleSpec& m : spec.modules()) {
+      for (int s : m.subs) {
+        EXPECT_LT(budgets[static_cast<std::size_t>(m.id)], budgets[static_cast<std::size_t>(s)]);
+      }
+      EXPECT_GT(budgets[static_cast<std::size_t>(m.id)], 0);
+      EXPECT_LE(budgets[static_cast<std::size_t>(m.id)], spec.slo());
+    }
+    EXPECT_EQ(budgets[static_cast<std::size_t>(spec.SinkModule())], spec.slo());
+  }
+}
+
+TEST(BatchPlanner, WeightsDriveSplit) {
+  const PipelineSpec spec = MakeTrafficMonitoring();
+  // All weight on module 0: its cumulative budget ~ the full SLO share.
+  const std::vector<Duration> budgets =
+      CumulativeBudgetsFromWeights(spec, {98.0, 1.0, 1.0}, spec.slo());
+  EXPECT_NEAR(static_cast<double>(budgets[0]), 0.98 * static_cast<double>(spec.slo()),
+              static_cast<double>(spec.slo()) * 0.01);
+}
+
+TEST(BatchPlanner, RejectsBadWeights) {
+  const PipelineSpec spec = MakeTrafficMonitoring();
+  EXPECT_THROW(CumulativeBudgetsFromWeights(spec, {1.0, 0.0, 1.0}, spec.slo()), CheckError);
+  EXPECT_THROW(CumulativeBudgetsFromWeights(spec, {1.0}, spec.slo()), CheckError);
+}
+
+}  // namespace
+}  // namespace pard

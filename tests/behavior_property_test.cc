@@ -1,0 +1,121 @@
+// Cross-seed behavioral properties.
+//
+// Single-seed comparisons can be lucky; these parameterized sweeps assert the
+// paper's qualitative claims hold across independent workload seeds:
+//   P1: PARD's goodput >= every reactive baseline's.
+//   P2: PARD's invalid rate <= the reactive baselines'.
+//   P3: PARD-back (no downstream awareness) places more drops in the latter
+//       half of the pipeline than PARD.
+//   P4: the naive baseline wastes the most computation of all systems.
+//   P5: replicated statistics are consistent (mean within [min, max], zero
+//       stddev for one replica).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace pard {
+namespace {
+
+ExperimentConfig SeededConfig(std::uint64_t seed, const std::string& policy) {
+  ExperimentConfig c;
+  c.app = "lv";
+  c.trace = "tweet";
+  c.policy = policy;
+  c.duration_s = 120.0;
+  c.base_rate = 240.0;
+  c.seed = seed;
+  return c;
+}
+
+double LateHalfShare(const ExperimentResult& r) {
+  const std::vector<double> share = r.analysis->PerModuleDropShare();
+  double late = 0.0;
+  for (std::size_t m = share.size() / 2; m < share.size(); ++m) {
+    late += share[m];
+  }
+  return late;
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, PardDominatesReactiveBaselines) {
+  const std::uint64_t seed = GetParam();
+  const ExperimentResult pard = RunExperiment(SeededConfig(seed, "pard"));
+  const ExperimentResult nexus = RunExperiment(SeededConfig(seed, "nexus"));
+  const ExperimentResult clipper = RunExperiment(SeededConfig(seed, "clipper++"));
+  // P1 (small tolerance: ties can occur when a seed produces no overload).
+  EXPECT_GE(pard.analysis->NormalizedGoodput() + 0.01, nexus.analysis->NormalizedGoodput());
+  EXPECT_GE(pard.analysis->NormalizedGoodput() + 0.01, clipper.analysis->NormalizedGoodput());
+  // P2.
+  EXPECT_LE(pard.analysis->InvalidRate(), nexus.analysis->InvalidRate() + 0.01);
+  EXPECT_LE(pard.analysis->InvalidRate(), clipper.analysis->InvalidRate() + 0.01);
+}
+
+TEST_P(SeedSweepTest, BackwardOnlyDropsLater) {
+  const std::uint64_t seed = GetParam();
+  const ExperimentResult pard = RunExperiment(SeededConfig(seed, "pard"));
+  const ExperimentResult back = RunExperiment(SeededConfig(seed, "pard-back"));
+  if (back.analysis->DroppedCount() < 100 || pard.analysis->DroppedCount() < 100) {
+    GTEST_SKIP() << "not enough drops at this seed to compare placement";
+  }
+  // P3.
+  EXPECT_GE(LateHalfShare(back) + 0.02, LateHalfShare(pard));
+  // Downstream blindness also wastes more computation.
+  EXPECT_GE(back.analysis->InvalidRate() + 0.005, pard.analysis->InvalidRate());
+}
+
+TEST_P(SeedSweepTest, NaiveWastesTheMostComputation) {
+  const std::uint64_t seed = GetParam();
+  const ExperimentResult naive = RunExperiment(SeededConfig(seed, "naive"));
+  for (const char* policy : {"pard", "nexus", "clipper++"}) {
+    const ExperimentResult r = RunExperiment(SeededConfig(seed, policy));
+    EXPECT_GE(naive.analysis->InvalidRate() + 0.01, r.analysis->InvalidRate()) << policy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Values(101, 202, 303));
+
+TEST(Replicated, StatisticsConsistent) {
+  ExperimentConfig c = SeededConfig(7, "pard");
+  c.duration_s = 60.0;
+  const ReplicatedResult r = RunReplicated(c, 3);
+  EXPECT_EQ(r.replicas, 3);
+  EXPECT_GE(r.drop_rate.mean, r.drop_rate.min);
+  EXPECT_LE(r.drop_rate.mean, r.drop_rate.max);
+  EXPECT_GE(r.drop_rate.stddev, 0.0);
+  EXPECT_GE(r.normalized_goodput.min, 0.0);
+  EXPECT_LE(r.normalized_goodput.max, 1.0);
+}
+
+TEST(Replicated, SingleReplicaHasZeroStddev) {
+  ExperimentConfig c = SeededConfig(7, "pard");
+  c.duration_s = 40.0;
+  const ReplicatedResult r = RunReplicated(c, 1);
+  EXPECT_DOUBLE_EQ(r.drop_rate.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.drop_rate.mean, r.drop_rate.min);
+  EXPECT_DOUBLE_EQ(r.drop_rate.mean, r.drop_rate.max);
+}
+
+TEST(Replicated, MatchesIndividualRuns) {
+  ExperimentConfig c = SeededConfig(55, "nexus");
+  c.duration_s = 40.0;
+  const ReplicatedResult rep = RunReplicated(c, 2);
+  const double a = RunExperiment(c).analysis->DropRate();
+  ExperimentConfig c2 = c;
+  c2.seed = 56;
+  const double b = RunExperiment(c2).analysis->DropRate();
+  EXPECT_NEAR(rep.drop_rate.mean, (a + b) / 2.0, 1e-12);
+  EXPECT_NEAR(rep.drop_rate.min, std::min(a, b), 1e-12);
+  EXPECT_NEAR(rep.drop_rate.max, std::max(a, b), 1e-12);
+}
+
+TEST(Replicated, RejectsZeroReplicas) {
+  EXPECT_THROW(RunReplicated(SeededConfig(1, "pard"), 0), CheckError);
+}
+
+}  // namespace
+}  // namespace pard

@@ -1,0 +1,60 @@
+// The shipped JSON pipeline configs in configs/ must load, validate, and
+// match the built-in app definitions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pipeline/apps.h"
+#include "pipeline/pipeline_spec.h"
+
+namespace pard {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Test binaries run from the build tree; configs live in the source tree.
+std::string ConfigPath(const std::string& name) {
+  return std::string(PARD_SOURCE_DIR) + "/configs/" + name;
+}
+
+struct ConfigCase {
+  const char* file;
+  const char* app;
+};
+
+class ConfigsTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigsTest, LoadsAndMatchesBuiltin) {
+  const ConfigCase& c = GetParam();
+  const PipelineSpec loaded = PipelineSpec::FromJsonText(ReadFile(ConfigPath(c.file)));
+  const PipelineSpec builtin = MakeApp(c.app);
+  EXPECT_EQ(loaded.app_name(), builtin.app_name());
+  EXPECT_EQ(loaded.slo(), builtin.slo());
+  ASSERT_EQ(loaded.NumModules(), builtin.NumModules());
+  for (int i = 0; i < builtin.NumModules(); ++i) {
+    EXPECT_EQ(loaded.Module(i).model, builtin.Module(i).model) << c.file << " module " << i;
+    EXPECT_EQ(loaded.Module(i).pres, builtin.Module(i).pres);
+    EXPECT_EQ(loaded.Module(i).subs, builtin.Module(i).subs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigsTest,
+                         ::testing::Values(ConfigCase{"traffic_monitoring.json", "tm"},
+                                           ConfigCase{"live_video.json", "lv"},
+                                           ConfigCase{"game_analysis.json", "gm"},
+                                           ConfigCase{"dag_live_video.json", "da"}),
+                         [](const ::testing::TestParamInfo<ConfigCase>& info) {
+                           return std::string(info.param.app);
+                         });
+
+}  // namespace
+}  // namespace pard

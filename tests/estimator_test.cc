@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/irwin_hall.h"
+#include "core/latency_estimator.h"
+#include "pipeline/apps.h"
+#include "runtime/state_board.h"
+
+namespace pard {
+namespace {
+
+// ---- Irwin–Hall ---------------------------------------------------------------
+
+TEST(IrwinHall, CdfOfUniform) {
+  // n=1 is U[0,1].
+  EXPECT_NEAR(IrwinHallCdf(1, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(IrwinHallCdf(1, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(IrwinHallCdf(1, -1.0), 0.0, 1e-12);
+}
+
+TEST(IrwinHall, CdfSymmetryAroundMean) {
+  // The Irwin-Hall distribution is symmetric about n/2.
+  for (int n : {2, 3, 4, 5}) {
+    for (double x = 0.1; x < n / 2.0; x += 0.2) {
+      EXPECT_NEAR(IrwinHallCdf(n, x), 1.0 - IrwinHallCdf(n, n - x), 1e-9) << n << " " << x;
+    }
+  }
+}
+
+TEST(IrwinHall, QuantileInvertsCdf) {
+  for (int n : {1, 2, 3, 4, 6}) {
+    for (double q : {0.05, 0.1, 0.25, 0.5, 0.9}) {
+      const double x = IrwinHallQuantile(n, q);
+      EXPECT_NEAR(IrwinHallCdf(n, x), q, 1e-6) << n << " " << q;
+    }
+  }
+}
+
+// The paper's worked example (§4.2): lambda = 0.1 in a 4-module pipeline with
+// equal durations d gives w_1 = 0.31 * sum d (4 modules), w_2 = 0.28 (3),
+// w_3 = 0.22 (2), w_4 = 0.10 (1), expressed as fractions of the respective
+// sums.
+TEST(IrwinHall, PaperWorkedExample) {
+  EXPECT_NEAR(IrwinHallQuantile(4, 0.1) / 4.0, 0.31, 0.005);
+  EXPECT_NEAR(IrwinHallQuantile(3, 0.1) / 3.0, 0.28, 0.005);
+  EXPECT_NEAR(IrwinHallQuantile(2, 0.1) / 2.0, 0.22, 0.005);
+  EXPECT_NEAR(IrwinHallQuantile(1, 0.1) / 1.0, 0.10, 0.005);
+}
+
+// ---- LatencyEstimator -----------------------------------------------------------
+
+// Board with uniform batch duration d and no samples (uniform fallback).
+StateBoard UniformBoard(int n, Duration d, double q_delay = 0.0) {
+  StateBoard board(n);
+  for (int i = 0; i < n; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = d;
+    s.avg_queue_delay = q_delay;
+    s.batch_size = 4;
+    board.Publish(std::move(s));
+  }
+  return board;
+}
+
+EstimatorOptions HighResOptions(double lambda = 0.1) {
+  EstimatorOptions o;
+  o.lambda = lambda;
+  o.mc_samples = 20000;  // Tight Monte-Carlo for numeric assertions.
+  return o;
+}
+
+TEST(LatencyEstimator, MatchesIrwinHallOnUniformFallback) {
+  const PipelineSpec lv = MakeLiveVideo();  // 5-module chain.
+  const Duration d = 10 * kUsPerMs;
+  StateBoard board = UniformBoard(5, d);
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(1));
+  // Path of 4 downstream modules from module 0.
+  const Duration w = est.AggregateWaitQuantile({1, 2, 3, 4}, 0.1);
+  const double expected = IrwinHallQuantile(4, 0.1) * static_cast<double>(d);
+  EXPECT_NEAR(static_cast<double>(w), expected, expected * 0.06);
+}
+
+TEST(LatencyEstimator, PaperQuantileTableAcrossPositions) {
+  const PipelineSpec lv = MakeLiveVideo();
+  const Duration d = 10 * kUsPerMs;
+  StateBoard board = UniformBoard(5, d);
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(2));
+  const struct {
+    std::vector<int> path;
+    double fraction;  // Of sum d over the path.
+  } cases[] = {
+      {{1, 2, 3, 4}, 0.31},
+      {{2, 3, 4}, 0.28},
+      {{3, 4}, 0.22},
+      {{4}, 0.10},
+  };
+  for (const auto& c : cases) {
+    const Duration w = est.AggregateWaitQuantile(c.path, 0.1);
+    const double sum_d = static_cast<double>(d) * static_cast<double>(c.path.size());
+    EXPECT_NEAR(static_cast<double>(w) / sum_d, c.fraction, 0.02);
+  }
+}
+
+TEST(LatencyEstimator, LambdaExtremes) {
+  const PipelineSpec lv = MakeLiveVideo();
+  const Duration d = 10 * kUsPerMs;
+  StateBoard board = UniformBoard(5, d);
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(3));
+  const std::vector<int> path = {1, 2, 3, 4};
+  // lambda = 0 -> near 0; lambda = 1 -> near sum d.
+  EXPECT_LT(est.AggregateWaitQuantile(path, 0.0), 4 * d / 10);
+  EXPECT_GT(est.AggregateWaitQuantile(path, 1.0), 4 * d * 9 / 10);
+}
+
+TEST(LatencyEstimator, WaitQuantileMonotoneInLambda) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = UniformBoard(5, 8 * kUsPerMs);
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(4));
+  Duration prev = 0;
+  for (double lambda = 0.0; lambda <= 1.0; lambda += 0.1) {
+    const Duration w = est.AggregateWaitQuantile({1, 2, 3, 4}, lambda);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(LatencyEstimator, UsesObservedSamplesWhenAvailable) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = UniformBoard(5, 10 * kUsPerMs);
+  // Module 4's waits are observed to be exactly 1 ms.
+  ModuleState s;
+  s.module_id = 4;
+  s.batch_duration = 10 * kUsPerMs;
+  s.wait_samples.assign(100, 1000.0);
+  board.Publish(std::move(s));
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(5));
+  const Duration w = est.AggregateWaitQuantile({4}, 0.5);
+  EXPECT_EQ(w, 1000);
+}
+
+TEST(LatencyEstimator, SubsequentSumsQueueExecAndWait) {
+  const PipelineSpec lv = MakeLiveVideo();
+  const Duration d = 10 * kUsPerMs;
+  const double q = 3.0 * kUsPerMs;
+  StateBoard board = UniformBoard(5, d, q);
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(6));
+  const Duration sub = est.EstimateSubsequent(0);
+  // 4 modules downstream: 4q + 4d + w(4 uniforms, lambda=.1).
+  const double expected = 4 * q + 4.0 * static_cast<double>(d) +
+                          IrwinHallQuantile(4, 0.1) * static_cast<double>(d);
+  EXPECT_NEAR(static_cast<double>(sub), expected, expected * 0.05);
+  // Sink has nothing downstream.
+  EXPECT_EQ(est.EstimateSubsequent(4), 0);
+}
+
+TEST(LatencyEstimator, AblationKnobsChangeComponents) {
+  const PipelineSpec lv = MakeLiveVideo();
+  const Duration d = 10 * kUsPerMs;
+  StateBoard board = UniformBoard(5, d, 3.0 * kUsPerMs);
+
+  EstimatorOptions sf = HighResOptions();
+  sf.include_queue = false;
+  sf.include_wait = false;
+  LatencyEstimator est_sf(&lv, &board, sf, Rng(7));
+  EXPECT_EQ(est_sf.EstimateSubsequent(0), 4 * d);  // sum d only (PARD-sf).
+
+  EstimatorOptions lower = HighResOptions();
+  lower.wait_mode = EstimatorOptions::WaitMode::kLower;
+  LatencyEstimator est_lower(&lv, &board, lower, Rng(8));
+  EstimatorOptions upper = HighResOptions();
+  upper.wait_mode = EstimatorOptions::WaitMode::kUpper;
+  LatencyEstimator est_upper(&lv, &board, upper, Rng(9));
+  // lower < sweet spot < upper, and upper - lower = sum d exactly.
+  LatencyEstimator est(&lv, &board, HighResOptions(), Rng(10));
+  EXPECT_LT(est_lower.EstimateSubsequent(0), est.EstimateSubsequent(0));
+  EXPECT_LT(est.EstimateSubsequent(0), est_upper.EstimateSubsequent(0));
+  EXPECT_EQ(est_upper.EstimateSubsequent(0) - est_lower.EstimateSubsequent(0), 4 * d);
+}
+
+TEST(LatencyEstimator, DagTakesMaxOverPaths) {
+  const PipelineSpec da = MakeDagLiveVideo();
+  StateBoard board(5);
+  // pose branch (module 1) is slow; face branch (module 2) fast.
+  for (int i = 0; i < 5; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = (i == 1) ? 50 * kUsPerMs : 5 * kUsPerMs;
+    board.Publish(std::move(s));
+  }
+  EstimatorOptions options = HighResOptions();
+  options.include_wait = false;  // Deterministic comparison.
+  LatencyEstimator est(&da, &board, options, Rng(11));
+  // From module 0: slow path d = 50+5+5 = 60ms; fast path 5+5+5 = 15ms.
+  EXPECT_EQ(est.EstimateSubsequent(0), 60 * kUsPerMs);
+}
+
+TEST(LatencyEstimator, CacheInvalidatesOnPublish) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = UniformBoard(5, 10 * kUsPerMs);
+  EstimatorOptions options = HighResOptions();
+  options.include_wait = false;
+  LatencyEstimator est(&lv, &board, options, Rng(12));
+  const Duration before = est.EstimateSubsequent(0);
+  // Same board version: cached value returned.
+  EXPECT_EQ(est.EstimateSubsequent(0), before);
+  // Bump module 4's duration: the estimate must change after publish.
+  ModuleState s;
+  s.module_id = 4;
+  s.batch_duration = 100 * kUsPerMs;
+  board.Publish(std::move(s));
+  EXPECT_EQ(est.EstimateSubsequent(0), before + 90 * kUsPerMs);
+}
+
+// Parameterized sweep: the sweet spot moves toward sum d / 2 as the number of
+// cascaded downstream modules grows (the central-limit effect of Fig. 6).
+class SweetSpotConcentrationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweetSpotConcentrationTest, FractionGrowsWithCascadeDepth) {
+  const int depth = GetParam();
+  // Build a chain pipeline of depth+1 modules.
+  std::vector<ModuleSpec> modules;
+  for (int i = 0; i <= depth; ++i) {
+    ModuleSpec m;
+    m.id = i;
+    m.model = "eye_tracking";
+    if (i > 0) {
+      m.pres.push_back(i - 1);
+    }
+    if (i < depth) {
+      m.subs.push_back(i + 1);
+    }
+    modules.push_back(std::move(m));
+  }
+  const PipelineSpec spec("deep", MsToUs(1000), std::move(modules));
+  StateBoard board = UniformBoard(depth + 1, 10 * kUsPerMs);
+  LatencyEstimator est(&spec, &board, HighResOptions(), Rng(13));
+  std::vector<int> path;
+  for (int i = 1; i <= depth; ++i) {
+    path.push_back(i);
+  }
+  const double fraction =
+      static_cast<double>(est.AggregateWaitQuantile(path, 0.1)) /
+      (static_cast<double>(depth) * 10.0 * kUsPerMs);
+  const double analytic = IrwinHallQuantile(depth, 0.1) / depth;
+  EXPECT_NEAR(fraction, analytic, 0.03);
+  if (depth >= 2) {
+    // Deeper cascades concentrate toward 1/2.
+    EXPECT_GT(fraction, IrwinHallQuantile(depth - 1, 0.1) / (depth - 1) - 0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SweetSpotConcentrationTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace pard

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace pard {
+namespace {
+
+FlagSet Standard() {
+  FlagSet flags;
+  flags.AddString("app", "lv", "application");
+  flags.AddDouble("rate", 100.0, "request rate");
+  flags.AddInt("seed", 7, "random seed");
+  flags.AddBool("scaling", false, "enable scaling");
+  return flags;
+}
+
+void Parse(FlagSet& flags, std::vector<const char*> args) {
+  flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  FlagSet flags = Standard();
+  Parse(flags, {});
+  EXPECT_EQ(flags.GetString("app"), "lv");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 100.0);
+  EXPECT_EQ(flags.GetInt("seed"), 7);
+  EXPECT_FALSE(flags.GetBool("scaling"));
+}
+
+TEST(Flags, EqualsForm) {
+  FlagSet flags = Standard();
+  Parse(flags, {"--app=tm", "--rate=42.5", "--seed=11", "--scaling=true"});
+  EXPECT_EQ(flags.GetString("app"), "tm");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 42.5);
+  EXPECT_EQ(flags.GetInt("seed"), 11);
+  EXPECT_TRUE(flags.GetBool("scaling"));
+}
+
+TEST(Flags, SpaceForm) {
+  FlagSet flags = Standard();
+  Parse(flags, {"--app", "gm", "--rate", "9"});
+  EXPECT_EQ(flags.GetString("app"), "gm");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 9.0);
+}
+
+TEST(Flags, BareBoolIsTrue) {
+  FlagSet flags = Standard();
+  Parse(flags, {"--scaling"});
+  EXPECT_TRUE(flags.GetBool("scaling"));
+}
+
+TEST(Flags, BareBoolFollowedByExplicitValue) {
+  FlagSet flags = Standard();
+  Parse(flags, {"--scaling", "false"});
+  EXPECT_FALSE(flags.GetBool("scaling"));
+}
+
+TEST(Flags, BoolSpellings) {
+  for (const char* yes : {"true", "1", "yes"}) {
+    FlagSet flags = Standard();
+    Parse(flags, {"--scaling", yes});
+    EXPECT_TRUE(flags.GetBool("scaling")) << yes;
+  }
+  FlagSet flags = Standard();
+  Parse(flags, {"--scaling=no"});
+  EXPECT_FALSE(flags.GetBool("scaling"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  FlagSet flags = Standard();
+  Parse(flags, {"first", "--app=tm", "second"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  FlagSet flags = Standard();
+  std::vector<const char*> args = {"--bogus=1"};
+  EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  {
+    FlagSet flags = Standard();
+    std::vector<const char*> args = {"--rate=fast"};
+    EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+  }
+  {
+    FlagSet flags = Standard();
+    std::vector<const char*> args = {"--seed=1.5x"};
+    EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+  }
+  {
+    FlagSet flags = Standard();
+    std::vector<const char*> args = {"--scaling=maybe"};
+    EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+  }
+}
+
+TEST(Flags, MissingValueThrows) {
+  FlagSet flags = Standard();
+  std::vector<const char*> args = {"--rate"};
+  EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+}
+
+TEST(Flags, HelpRequested) {
+  FlagSet flags = Standard();
+  Parse(flags, {"--help"});
+  EXPECT_TRUE(flags.HelpRequested());
+  const std::string usage = flags.Usage("tool");
+  EXPECT_NE(usage.find("--app"), std::string::npos);
+  EXPECT_NE(usage.find("application"), std::string::npos);
+}
+
+TEST(Flags, TypeMismatchThrows) {
+  FlagSet flags = Standard();
+  Parse(flags, {});
+  EXPECT_THROW(flags.GetDouble("app"), CheckError);
+  EXPECT_THROW(flags.GetString("rate"), CheckError);
+  EXPECT_THROW(flags.GetBool("seed"), CheckError);
+}
+
+}  // namespace
+}  // namespace pard

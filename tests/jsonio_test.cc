@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "jsonio/json.h"
+
+namespace pard {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null").IsNull());
+  EXPECT_TRUE(ParseJson("true").AsBool());
+  EXPECT_FALSE(ParseJson("false").AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("3.5").AsDouble(), 3.5);
+  EXPECT_EQ(ParseJson("-17").AsInt(), -17);
+  EXPECT_EQ(ParseJson("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParse, Exponents) {
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5E-2").AsDouble(), 0.025);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e+1").AsDouble(), -15.0);
+}
+
+TEST(JsonParse, Arrays) {
+  const JsonValue v = ParseJson("[1, 2, [3, 4], []]");
+  ASSERT_TRUE(v.IsArray());
+  ASSERT_EQ(v.AsArray().size(), 4u);
+  EXPECT_EQ(v.AsArray()[2].AsArray()[1].AsInt(), 4);
+  EXPECT_TRUE(v.AsArray()[3].AsArray().empty());
+}
+
+TEST(JsonParse, Objects) {
+  const JsonValue v = ParseJson(R"({"a": 1, "b": {"c": [true]}})");
+  EXPECT_EQ(v.At("a").AsInt(), 1);
+  EXPECT_TRUE(v.At("b").At("c").AsArray()[0].AsBool());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_THROW(v.At("missing"), JsonError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue v = ParseJson(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapeMultiByte) {
+  // U+00E9 (é) encodes as two UTF-8 bytes.
+  const JsonValue v = ParseJson(R"("é")");
+  EXPECT_EQ(v.AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Whitespace) {
+  const JsonValue v = ParseJson("  { \"k\" :\n[ 1 ,\t2 ] }  ");
+  EXPECT_EQ(v.At("k").AsArray().size(), 2u);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(ParseJson(""), JsonError);
+  EXPECT_THROW(ParseJson("{"), JsonError);
+  EXPECT_THROW(ParseJson("[1,]"), JsonError);
+  EXPECT_THROW(ParseJson("{\"a\":}"), JsonError);
+  EXPECT_THROW(ParseJson("nul"), JsonError);
+  EXPECT_THROW(ParseJson("1 2"), JsonError);  // Trailing content.
+  EXPECT_THROW(ParseJson("\"unterminated"), JsonError);
+  EXPECT_THROW(ParseJson("01x"), JsonError);
+  EXPECT_THROW(ParseJson("1."), JsonError);
+  EXPECT_THROW(ParseJson("--1"), JsonError);
+  EXPECT_THROW(ParseJson(R"("\q")"), JsonError);
+  EXPECT_THROW(ParseJson(R"("\u00g0")"), JsonError);
+}
+
+TEST(JsonParse, ErrorMessageIncludesOffset) {
+  try {
+    ParseJson("[1, x]");
+    FAIL() << "expected throw";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonTypeChecks, MismatchThrows) {
+  const JsonValue v = ParseJson("42");
+  EXPECT_THROW(v.AsString(), JsonError);
+  EXPECT_THROW(v.AsArray(), JsonError);
+  EXPECT_THROW(v.AsObject(), JsonError);
+  EXPECT_THROW(v.AsBool(), JsonError);
+  EXPECT_THROW(ParseJson("1.5").AsInt(), JsonError);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string text = R"({"arr":[1,2.5,"x"],"flag":true,"nested":{"n":null}})";
+  const JsonValue v = ParseJson(text);
+  const JsonValue reparsed = ParseJson(v.Dump());
+  EXPECT_TRUE(v == reparsed);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(JsonValue(7).Dump(), "7");
+  EXPECT_EQ(JsonValue(-3).Dump(), "-3");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const std::string dumped = JsonValue(std::string("a\nb\"c")).Dump();
+  EXPECT_EQ(dumped, R"("a\nb\"c")");
+  EXPECT_TRUE(ParseJson(dumped).AsString() == "a\nb\"c");
+}
+
+TEST(JsonDump, PrettyPrintParsesBack) {
+  JsonObject obj;
+  obj["k"] = JsonArray{1, 2};
+  obj["m"] = JsonObject{{"x", "y"}};
+  const JsonValue v(std::move(obj));
+  const std::string pretty = v.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_TRUE(ParseJson(pretty) == v);
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  JsonObject obj;
+  obj["zebra"] = 1;
+  obj["alpha"] = 2;
+  const std::string dumped = JsonValue(std::move(obj)).Dump();
+  EXPECT_LT(dumped.find("alpha"), dumped.find("zebra"));
+}
+
+// Property: dump/parse round trip preserves structure on random documents.
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripTest, RandomDocumentRoundTrips) {
+  // Deterministic pseudo-random document built from the seed.
+  const int seed = GetParam();
+  JsonArray arr;
+  for (int i = 0; i < 20; ++i) {
+    const int kind = (seed * 31 + i * 7) % 4;
+    switch (kind) {
+      case 0:
+        arr.emplace_back(static_cast<std::int64_t>(seed * 1000 + i));
+        break;
+      case 1:
+        arr.emplace_back(0.5 * i + seed);
+        break;
+      case 2:
+        arr.emplace_back("s" + std::to_string(i));
+        break;
+      default:
+        arr.emplace_back(JsonObject{{"i", i}, {"seed", seed}});
+    }
+  }
+  const JsonValue v(std::move(arr));
+  EXPECT_TRUE(ParseJson(v.Dump()) == v);
+  EXPECT_TRUE(ParseJson(v.Dump(2)) == v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pard

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stats/minmax_heap.h"
+
+namespace pard {
+namespace {
+
+TEST(MinMaxHeap, EmptyBehaviour) {
+  MinMaxHeap<int> h;
+  EXPECT_TRUE(h.Empty());
+  EXPECT_EQ(h.Size(), 0u);
+  EXPECT_THROW(h.Min(), CheckError);
+  EXPECT_THROW(h.Max(), CheckError);
+  EXPECT_THROW(h.PopMin(), CheckError);
+}
+
+TEST(MinMaxHeap, SingleElement) {
+  MinMaxHeap<int> h;
+  h.Push(42);
+  EXPECT_EQ(h.Min(), 42);
+  EXPECT_EQ(h.Max(), 42);
+  EXPECT_EQ(h.PopMax(), 42);
+  EXPECT_TRUE(h.Empty());
+}
+
+TEST(MinMaxHeap, TwoElements) {
+  MinMaxHeap<int> h;
+  h.Push(5);
+  h.Push(3);
+  EXPECT_EQ(h.Min(), 3);
+  EXPECT_EQ(h.Max(), 5);
+}
+
+TEST(MinMaxHeap, MinAndMaxTrackAfterPushes) {
+  MinMaxHeap<int> h;
+  for (int v : {7, 2, 9, 4, 11, 1, 8}) {
+    h.Push(v);
+    EXPECT_TRUE(h.Validate());
+  }
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 11);
+}
+
+TEST(MinMaxHeap, PopMinYieldsSortedAscending) {
+  MinMaxHeap<int> h;
+  for (int v : {5, 1, 4, 2, 3, 0, 9, 7, 8, 6}) {
+    h.Push(v);
+  }
+  for (int expected = 0; expected < 10; ++expected) {
+    EXPECT_EQ(h.PopMin(), expected);
+    EXPECT_TRUE(h.Validate());
+  }
+}
+
+TEST(MinMaxHeap, PopMaxYieldsSortedDescending) {
+  MinMaxHeap<int> h;
+  for (int v : {5, 1, 4, 2, 3, 0, 9, 7, 8, 6}) {
+    h.Push(v);
+  }
+  for (int expected = 9; expected >= 0; --expected) {
+    EXPECT_EQ(h.PopMax(), expected);
+    EXPECT_TRUE(h.Validate());
+  }
+}
+
+TEST(MinMaxHeap, DuplicatesSupported) {
+  MinMaxHeap<int> h;
+  for (int i = 0; i < 20; ++i) {
+    h.Push(7);
+  }
+  h.Push(3);
+  h.Push(9);
+  EXPECT_EQ(h.PopMin(), 3);
+  EXPECT_EQ(h.PopMax(), 9);
+  EXPECT_EQ(h.PopMin(), 7);
+  EXPECT_EQ(h.PopMax(), 7);
+  EXPECT_TRUE(h.Validate());
+}
+
+TEST(MinMaxHeap, ClearEmpties) {
+  MinMaxHeap<int> h;
+  h.Push(1);
+  h.Clear();
+  EXPECT_TRUE(h.Empty());
+}
+
+TEST(MinMaxHeap, CustomComparator) {
+  // Reverse comparator: Min() yields the largest value.
+  MinMaxHeap<int, std::greater<int>> h(std::greater<int>{});
+  for (int v : {3, 1, 4}) {
+    h.Push(v);
+  }
+  EXPECT_EQ(h.Min(), 4);
+  EXPECT_EQ(h.Max(), 1);
+}
+
+// Property test: random interleavings of push/pop-min/pop-max agree with a
+// reference multiset at every step, and the structural invariant holds.
+class MinMaxHeapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinMaxHeapPropertyTest, AgreesWithReferenceMultiset) {
+  Rng rng(GetParam());
+  MinMaxHeap<int> h;
+  std::multiset<int> reference;
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.55 || reference.empty()) {
+      const int v = static_cast<int>(rng.UniformInt(-1000, 1000));
+      h.Push(v);
+      reference.insert(v);
+    } else if (action < 0.8) {
+      EXPECT_EQ(h.PopMin(), *reference.begin());
+      reference.erase(reference.begin());
+    } else {
+      const auto last = std::prev(reference.end());
+      EXPECT_EQ(h.PopMax(), *last);
+      reference.erase(last);
+    }
+    EXPECT_EQ(h.Size(), reference.size());
+    if (!reference.empty()) {
+      EXPECT_EQ(h.Min(), *reference.begin());
+      EXPECT_EQ(h.Max(), *std::prev(reference.end()));
+    }
+    if (step % 250 == 0) {
+      EXPECT_TRUE(h.Validate());
+    }
+  }
+  EXPECT_TRUE(h.Validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MinMaxHeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pard

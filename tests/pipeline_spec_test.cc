@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "pipeline/apps.h"
+#include "pipeline/pipeline_spec.h"
+
+namespace pard {
+namespace {
+
+PipelineSpec ChainOf(int n) {
+  std::vector<ModuleSpec> modules;
+  for (int i = 0; i < n; ++i) {
+    ModuleSpec m;
+    m.id = i;
+    m.model = "object_detection";
+    if (i > 0) {
+      m.pres.push_back(i - 1);
+    }
+    if (i < n - 1) {
+      m.subs.push_back(i + 1);
+    }
+    modules.push_back(std::move(m));
+  }
+  return PipelineSpec("chain", MsToUs(500), std::move(modules));
+}
+
+TEST(PipelineSpec, ChainBasics) {
+  const PipelineSpec p = ChainOf(4);
+  EXPECT_EQ(p.NumModules(), 4);
+  EXPECT_TRUE(p.IsChain());
+  EXPECT_EQ(p.SourceModule(), 0);
+  EXPECT_EQ(p.SinkModule(), 3);
+  EXPECT_EQ(p.TopoOrder(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PipelineSpec, ChainDownstreamPaths) {
+  const PipelineSpec p = ChainOf(4);
+  const auto& paths0 = p.DownstreamPaths(0);
+  ASSERT_EQ(paths0.size(), 1u);
+  EXPECT_EQ(paths0[0], (std::vector<int>{1, 2, 3}));
+  const auto& paths_sink = p.DownstreamPaths(3);
+  ASSERT_EQ(paths_sink.size(), 1u);
+  EXPECT_TRUE(paths_sink[0].empty());
+}
+
+TEST(PipelineSpec, DagPathsEnumerateBranches) {
+  const PipelineSpec da = MakeDagLiveVideo();
+  EXPECT_FALSE(da.IsChain());
+  const auto& paths = da.DownstreamPaths(0);
+  ASSERT_EQ(paths.size(), 2u);
+  // person -> pose -> expression -> eye and person -> face -> expression -> eye.
+  EXPECT_EQ(paths[0], (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(paths[1], (std::vector<int>{2, 3, 4}));
+  // From the merge module there is a single path.
+  ASSERT_EQ(da.DownstreamPaths(3).size(), 1u);
+  EXPECT_EQ(da.DownstreamPaths(3)[0], (std::vector<int>{4}));
+}
+
+TEST(PipelineSpec, ValidateRejectsCycle) {
+  std::vector<ModuleSpec> modules(2);
+  modules[0].id = 0;
+  modules[0].model = "object_detection";
+  modules[0].pres = {1};
+  modules[0].subs = {1};
+  modules[1].id = 1;
+  modules[1].model = "face_recognition";
+  modules[1].pres = {0};
+  modules[1].subs = {0};
+  EXPECT_THROW(PipelineSpec("cyc", MsToUs(100), modules), CheckError);
+}
+
+TEST(PipelineSpec, ValidateRejectsAsymmetry) {
+  std::vector<ModuleSpec> modules(2);
+  modules[0].id = 0;
+  modules[0].model = "object_detection";
+  modules[0].subs = {1};
+  modules[1].id = 1;
+  modules[1].model = "face_recognition";
+  // Missing pres = {0}.
+  EXPECT_THROW(PipelineSpec("bad", MsToUs(100), modules), CheckError);
+}
+
+TEST(PipelineSpec, ValidateRejectsNonDenseIds) {
+  std::vector<ModuleSpec> modules(2);
+  modules[0].id = 0;
+  modules[0].model = "object_detection";
+  modules[1].id = 5;
+  modules[1].model = "face_recognition";
+  EXPECT_THROW(PipelineSpec("bad", MsToUs(100), modules), CheckError);
+}
+
+TEST(PipelineSpec, ValidateRejectsSelfLoop) {
+  std::vector<ModuleSpec> modules(1);
+  modules[0].id = 0;
+  modules[0].model = "object_detection";
+  modules[0].subs = {0};
+  modules[0].pres = {0};
+  EXPECT_THROW(PipelineSpec("bad", MsToUs(100), modules), CheckError);
+}
+
+TEST(PipelineSpec, ValidateRejectsMultipleSources) {
+  std::vector<ModuleSpec> modules(3);
+  for (int i = 0; i < 3; ++i) {
+    modules[static_cast<std::size_t>(i)].id = i;
+    modules[static_cast<std::size_t>(i)].model = "object_detection";
+  }
+  modules[0].subs = {2};
+  modules[1].subs = {2};
+  modules[2].pres = {0, 1};
+  EXPECT_THROW(PipelineSpec("bad", MsToUs(100), modules), CheckError);
+}
+
+TEST(PipelineSpec, ValidateRejectsZeroSlo) {
+  std::vector<ModuleSpec> modules(1);
+  modules[0].id = 0;
+  modules[0].model = "object_detection";
+  EXPECT_THROW(PipelineSpec("bad", 0, modules), CheckError);
+}
+
+TEST(PipelineSpec, JsonRoundTrip) {
+  const PipelineSpec p = MakeDagLiveVideo();
+  const PipelineSpec q = PipelineSpec::FromJsonText(p.ToJson().Dump());
+  EXPECT_EQ(q.app_name(), p.app_name());
+  EXPECT_EQ(q.slo(), p.slo());
+  EXPECT_EQ(q.NumModules(), p.NumModules());
+  for (int i = 0; i < p.NumModules(); ++i) {
+    EXPECT_EQ(q.Module(i).model, p.Module(i).model);
+    EXPECT_EQ(q.Module(i).pres, p.Module(i).pres);
+    EXPECT_EQ(q.Module(i).subs, p.Module(i).subs);
+  }
+}
+
+TEST(PipelineSpec, FromJsonAcceptsUnorderedModules) {
+  // Modules listed out of id order, as a hand-written config might be.
+  const char* text = R"({
+    "app": "mini", "slo_ms": 300,
+    "modules": [
+      {"id": 1, "name": "face_recognition", "pres": [0], "subs": []},
+      {"id": 0, "name": "object_detection", "pres": [], "subs": [1]}
+    ]})";
+  const PipelineSpec p = PipelineSpec::FromJsonText(text);
+  EXPECT_EQ(p.NumModules(), 2);
+  EXPECT_EQ(p.Module(0).model, "object_detection");
+  EXPECT_EQ(p.SourceModule(), 0);
+}
+
+// ---- paper apps ------------------------------------------------------------------
+
+TEST(Apps, PaperShapes) {
+  const PipelineSpec tm = MakeTrafficMonitoring();
+  EXPECT_EQ(tm.NumModules(), 3);
+  EXPECT_EQ(tm.slo(), MsToUs(400));
+  const PipelineSpec lv = MakeLiveVideo();
+  EXPECT_EQ(lv.NumModules(), 5);
+  EXPECT_EQ(lv.slo(), MsToUs(500));
+  const PipelineSpec gm = MakeGameAnalysis();
+  EXPECT_EQ(gm.NumModules(), 5);
+  EXPECT_EQ(gm.slo(), MsToUs(600));
+  const PipelineSpec da = MakeDagLiveVideo();
+  EXPECT_EQ(da.NumModules(), 5);
+  EXPECT_EQ(da.slo(), MsToUs(420));
+}
+
+TEST(Apps, ChainsAreChains) {
+  EXPECT_TRUE(MakeTrafficMonitoring().IsChain());
+  EXPECT_TRUE(MakeLiveVideo().IsChain());
+  EXPECT_TRUE(MakeGameAnalysis().IsChain());
+  EXPECT_FALSE(MakeDagLiveVideo().IsChain());
+}
+
+TEST(Apps, DagForkAndMergeStructure) {
+  const PipelineSpec da = MakeDagLiveVideo();
+  EXPECT_EQ(da.Module(0).subs.size(), 2u);   // Fork at person detection.
+  EXPECT_EQ(da.Module(3).pres.size(), 2u);   // Merge at expression recognition.
+}
+
+TEST(Apps, DispatchByName) {
+  for (const std::string& name : AppNames()) {
+    EXPECT_NO_THROW(MakeApp(name));
+  }
+  EXPECT_THROW(MakeApp("nope"), CheckError);
+}
+
+TEST(Apps, AllModelsRegistered) {
+  for (const std::string& name : AppNames()) {
+    const PipelineSpec spec = MakeApp(name);
+    for (const ModuleSpec& m : spec.modules()) {
+      SUCCEED();
+      EXPECT_NO_THROW((void)m.model);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pard

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive_priority.h"
+
+namespace pard {
+namespace {
+
+TEST(AdaptivePriority, StartsInConfiguredMode) {
+  AdaptivePriority p;
+  EXPECT_EQ(p.mode(), PriorityMode::kLbf);
+  AdaptivePriorityOptions options;
+  options.initial = PriorityMode::kHbf;
+  AdaptivePriority q(options);
+  EXPECT_EQ(q.mode(), PriorityMode::kHbf);
+}
+
+TEST(AdaptivePriority, SwitchesToHbfAboveUpperThreshold) {
+  AdaptivePriority p;
+  p.Update(/*load_factor=*/1.3, /*burstiness=*/0.2);  // 1.3 > 1.2.
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+  EXPECT_EQ(p.side(), PopSide::kMaxBudget);
+}
+
+TEST(AdaptivePriority, SwitchesToLbfBelowLowerThreshold) {
+  AdaptivePriorityOptions options;
+  options.initial = PriorityMode::kHbf;
+  AdaptivePriority p(options);
+  p.Update(0.7, 0.2);  // 0.7 < 0.8.
+  EXPECT_EQ(p.mode(), PriorityMode::kLbf);
+  EXPECT_EQ(p.side(), PopSide::kMinBudget);
+}
+
+TEST(AdaptivePriority, HysteresisHoldsInsideBand) {
+  AdaptivePriority p;
+  p.Update(1.5, 0.2);  // -> HBF.
+  ASSERT_EQ(p.mode(), PriorityMode::kHbf);
+  // Load falls back inside [0.8, 1.2]: mode must NOT change.
+  p.Update(0.95, 0.2);
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+  p.Update(1.1, 0.2);
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+  // Only below 1 - eps does it flip.
+  p.Update(0.75, 0.2);
+  EXPECT_EQ(p.mode(), PriorityMode::kLbf);
+}
+
+TEST(AdaptivePriority, InstantModeFlipsAtUnity) {
+  AdaptivePriorityOptions options;
+  options.delayed_transition = false;
+  AdaptivePriority p(options);
+  p.Update(1.05, 0.5);  // eps ignored: 1.05 > 1.0 -> HBF.
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+  p.Update(0.97, 0.5);
+  EXPECT_EQ(p.mode(), PriorityMode::kLbf);
+}
+
+TEST(AdaptivePriority, InstantModeThrashesWhereDelayedHolds) {
+  AdaptivePriorityOptions instant;
+  instant.delayed_transition = false;
+  AdaptivePriority fast(instant);
+  AdaptivePriority slow;  // Delayed.
+  // Load oscillates tightly around 1.0 with high burstiness (the Fig. 13
+  // regime): instant transitions every step, delayed holds steady.
+  const double loads[] = {1.05, 0.95, 1.08, 0.92, 1.03, 0.97, 1.06, 0.94};
+  for (double mu : loads) {
+    fast.Update(mu, 0.3);
+    slow.Update(mu, 0.3);
+  }
+  EXPECT_GE(fast.transitions(), 7);
+  EXPECT_LE(slow.transitions(), 1);
+}
+
+TEST(AdaptivePriority, EpsilonClamped) {
+  AdaptivePriorityOptions options;
+  options.max_epsilon = 0.1;
+  AdaptivePriority p(options);
+  // Burstiness 5.0 clamps to 0.1, so 1.2 > 1.1 still switches.
+  p.Update(1.2, 5.0);
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+}
+
+TEST(AdaptivePriority, MinEpsilonEnforced) {
+  AdaptivePriorityOptions options;
+  options.min_epsilon = 0.25;
+  AdaptivePriority p(options);
+  // Burstiness 0 but floor 0.25: 1.2 < 1.25 must NOT switch.
+  p.Update(1.2, 0.0);
+  EXPECT_EQ(p.mode(), PriorityMode::kLbf);
+  p.Update(1.3, 0.0);
+  EXPECT_EQ(p.mode(), PriorityMode::kHbf);
+}
+
+TEST(AdaptivePriority, TransitionsCounted) {
+  AdaptivePriority p;
+  EXPECT_EQ(p.transitions(), 0);
+  p.Update(2.0, 0.0);
+  p.Update(0.5, 0.0);
+  p.Update(2.0, 0.0);
+  EXPECT_EQ(p.transitions(), 3);
+}
+
+// Burstiness-dependent band: bursty workloads (larger eps) suppress switches
+// that steady workloads would make — the adaptive eps design of §4.3.
+TEST(AdaptivePriority, BurstinessWidensTheBand) {
+  AdaptivePriority steady;
+  AdaptivePriority bursty;
+  steady.Update(1.15, 0.05);  // 1.15 > 1.05 -> switch.
+  bursty.Update(1.15, 0.40);  // 1.15 < 1.40 -> hold.
+  EXPECT_EQ(steady.mode(), PriorityMode::kHbf);
+  EXPECT_EQ(bursty.mode(), PriorityMode::kLbf);
+}
+
+}  // namespace
+}  // namespace pard

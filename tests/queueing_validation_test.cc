@@ -1,0 +1,157 @@
+// Queueing-theory validation of the serving substrate.
+//
+// Before trusting policy comparisons built on the simulator, the simulator
+// itself must reproduce known queueing results. With batch size 1 a worker
+// is a plain single server with deterministic service: under Poisson
+// arrivals that is M/D/1, whose mean waiting time has the closed form
+//   Wq = rho / (2 (1 - rho)) * D.
+// These tests drive the worker with controlled arrivals and check utilization
+// and delays against theory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/naive_policy.h"
+#include "common/rng.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/pipeline_runtime.h"
+#include "trace/arrival_generator.h"
+
+namespace pard {
+namespace {
+
+// A single-module pipeline whose SLO forces batch size 1 (2*d(2) > share).
+// eye_tracking: d(1) = 7 ms, d(2) = 9 ms -> SLO 17 ms gives budget 17 ms,
+// 2*d(1) = 14 <= 17 but 2*d(2) = 18 > 17.
+PipelineSpec SingleServerSpec() {
+  ModuleSpec m;
+  m.id = 0;
+  m.model = "eye_tracking";
+  return PipelineSpec("mdq", MsToUs(17), {m});
+}
+
+constexpr double kServiceMs = 7.0;  // d(1) of eye_tracking.
+
+struct QueueStats {
+  double mean_queue_delay_ms = 0.0;  // Q: time in DEPQ.
+  double mean_wait_ms = 0.0;         // W: batch wait.
+  double utilization = 0.0;          // Busy fraction proxy.
+  std::size_t served = 0;
+};
+
+QueueStats RunSingleServer(double rate_per_sec, double duration_s, std::uint64_t seed) {
+  NaivePolicy policy;
+  RuntimeOptions options;
+  options.fixed_workers = {1};
+  options.network_delay = 0;
+  PipelineRuntime rt(SingleServerSpec(), options, &policy, rate_per_sec);
+  EXPECT_EQ(rt.batch_sizes()[0], 1) << "spec must force batch size 1";
+  Rng rng(seed);
+  const auto arrivals = GenerateArrivals(RateFunction::Constant(rate_per_sec), 0,
+                                         SecToUs(duration_s), rng);
+  rt.RunTrace(arrivals);
+  QueueStats stats;
+  double busy_us = 0.0;
+  for (const RequestPtr& r : rt.requests()) {
+    const HopRecord& hop = r->hops[0];
+    if (!hop.executed) {
+      continue;
+    }
+    ++stats.served;
+    stats.mean_queue_delay_ms += UsToMs(hop.QueueDelay());
+    stats.mean_wait_ms += UsToMs(hop.BatchWait());
+    busy_us += static_cast<double>(hop.ExecDuration());
+  }
+  if (stats.served > 0) {
+    stats.mean_queue_delay_ms /= static_cast<double>(stats.served);
+    stats.mean_wait_ms /= static_cast<double>(stats.served);
+  }
+  stats.utilization = busy_us / static_cast<double>(SecToUs(duration_s));
+  return stats;
+}
+
+// Utilization must equal rho = lambda * D.
+class UtilizationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationTest, MatchesOfferedLoad) {
+  const double rho = GetParam();
+  const double rate = rho / (kServiceMs / 1000.0);
+  const QueueStats stats = RunSingleServer(rate, 60.0, 17);
+  EXPECT_NEAR(stats.utilization, rho, 0.03) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, UtilizationTest, ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+// Total delay before service (Q + W in the batching model) must match the
+// M/D/1 waiting time.
+class MD1WaitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MD1WaitTest, MatchesPollaczekKhinchine) {
+  const double rho = GetParam();
+  const double rate = rho / (kServiceMs / 1000.0);
+  const QueueStats stats = RunSingleServer(rate, 300.0, 23);
+  const double theory_ms = rho / (2.0 * (1.0 - rho)) * kServiceMs;
+  const double measured_ms = stats.mean_queue_delay_ms + stats.mean_wait_ms;
+  // 15% tolerance: finite run + deterministic service.
+  EXPECT_NEAR(measured_ms, theory_ms, std::max(0.3, theory_ms * 0.15)) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, MD1WaitTest, ::testing::Values(0.3, 0.5, 0.7));
+
+TEST(QueueingValidation, DelayExplodesPastSaturation) {
+  const QueueStats stable = RunSingleServer(0.7 / (kServiceMs / 1000.0), 60.0, 5);
+  const QueueStats overloaded = RunSingleServer(1.4 / (kServiceMs / 1000.0), 60.0, 5);
+  EXPECT_GT(overloaded.mean_queue_delay_ms + overloaded.mean_wait_ms,
+            10.0 * (stable.mean_queue_delay_ms + stable.mean_wait_ms));
+}
+
+TEST(QueueingValidation, WorkConservation) {
+  // Served count equals arrivals under stable load (nothing lost).
+  const double rate = 0.5 / (kServiceMs / 1000.0);
+  NaivePolicy policy;
+  RuntimeOptions options;
+  options.fixed_workers = {1};
+  options.network_delay = 0;
+  PipelineRuntime rt(SingleServerSpec(), options, &policy, rate);
+  Rng rng(31);
+  const auto arrivals =
+      GenerateArrivals(RateFunction::Constant(rate), 0, SecToUs(30), rng);
+  rt.RunTrace(arrivals);
+  std::size_t served = 0;
+  for (const RequestPtr& r : rt.requests()) {
+    served += r->hops[0].executed ? 1 : 0;
+  }
+  EXPECT_EQ(served, arrivals.size());
+}
+
+TEST(QueueingValidation, TwoWorkersHalveUtilizationEach) {
+  // With two workers at total rho = 0.8, per-worker busy time is ~0.4 of the
+  // run, so total GPU busy time is the same but queueing drops sharply.
+  const double rate = 0.8 / (kServiceMs / 1000.0);
+  const QueueStats one = RunSingleServer(rate, 120.0, 41);
+
+  NaivePolicy policy;
+  RuntimeOptions options;
+  options.fixed_workers = {2};
+  options.network_delay = 0;
+  PipelineRuntime rt(SingleServerSpec(), options, &policy, rate);
+  Rng rng(41);
+  const auto arrivals =
+      GenerateArrivals(RateFunction::Constant(rate), 0, SecToUs(120), rng);
+  rt.RunTrace(arrivals);
+  double delay_ms = 0.0;
+  std::size_t served = 0;
+  for (const RequestPtr& r : rt.requests()) {
+    const HopRecord& hop = r->hops[0];
+    if (hop.executed) {
+      ++served;
+      delay_ms += UsToMs(hop.QueueDelay() + hop.BatchWait());
+    }
+  }
+  ASSERT_GT(served, 0u);
+  delay_ms /= static_cast<double>(served);
+  EXPECT_LT(delay_ms, 0.5 * (one.mean_queue_delay_ms + one.mean_wait_ms));
+}
+
+}  // namespace
+}  // namespace pard

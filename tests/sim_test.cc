@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulation.h"
+
+namespace pard {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(50, [&] { order.push_back(1); });
+  sim.ScheduleAt(50, [&] { order.push_back(2); });
+  sim.ScheduleAt(50, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(25, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 125);
+}
+
+TEST(Simulation, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.ScheduleAt(100, [&] {
+    EXPECT_THROW(sim.ScheduleAt(50, [] {}), CheckError);
+  });
+  sim.Run();
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.ScheduleAfter(-1, [] {}), CheckError);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelUnknownIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Cancel(12345));
+}
+
+TEST(Simulation, CancelFiredEventReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.Run(20);
+  EXPECT_EQ(fired, 2);  // Events exactly at the boundary run.
+  EXPECT_EQ(sim.Now(), 20);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(1, recurse);
+    }
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+  EXPECT_EQ(sim.ExecutedEvents(), 100u);
+}
+
+TEST(Simulation, CancelledEventsDoNotBlockRunUntil) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(5, [] {});
+  sim.Cancel(id);
+  bool fired = false;
+  sim.ScheduleAt(50, [&] { fired = true; });
+  sim.Run(100);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 100);  // Clock advances to the requested horizon.
+}
+
+TEST(Simulation, PendingEventsCountsLiveOnly) {
+  Simulation sim;
+  const EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace pard

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "trace/trace_io.h"
+#include "trace/traces.h"
+
+namespace pard {
+namespace {
+
+RateFunction Sample() {
+  return RateFunction({{0, 10.0}, {SecToUs(5), 20.5}, {SecToUs(9), 3.25}});
+}
+
+TEST(TraceIo, JsonRoundTrip) {
+  const RateFunction f = Sample();
+  const RateFunction g = RateFunctionFromJson(RateFunctionToJson(f));
+  ASSERT_EQ(g.points().size(), f.points().size());
+  for (std::size_t i = 0; i < f.points().size(); ++i) {
+    EXPECT_EQ(g.points()[i].t, f.points()[i].t);
+    EXPECT_DOUBLE_EQ(g.points()[i].rate, f.points()[i].rate);
+  }
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const RateFunction f = Sample();
+  const RateFunction g = RateFunctionFromCsv(RateFunctionToCsv(f));
+  ASSERT_EQ(g.points().size(), f.points().size());
+  for (std::size_t i = 0; i < f.points().size(); ++i) {
+    EXPECT_EQ(g.points()[i].t, f.points()[i].t);
+    EXPECT_NEAR(g.points()[i].rate, f.points()[i].rate, 1e-9);
+  }
+}
+
+TEST(TraceIo, CsvWithoutHeaderAccepted) {
+  const RateFunction f = RateFunctionFromCsv("0,5\n10,6\n");
+  EXPECT_EQ(f.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.At(SecToUs(10)), 6.0);
+}
+
+TEST(TraceIo, CsvSkipsBlankLines) {
+  const RateFunction f = RateFunctionFromCsv("seconds,rate\n\n0,5\n\n10,6\n\n");
+  EXPECT_EQ(f.points().size(), 2u);
+}
+
+TEST(TraceIo, CsvErrors) {
+  EXPECT_THROW(RateFunctionFromCsv("seconds,rate\n1\n"), CheckError);
+  EXPECT_THROW(RateFunctionFromCsv("seconds,rate\n1,x\n"), CheckError);
+  // No data rows -> empty RateFunction is invalid.
+  EXPECT_THROW(RateFunctionFromCsv("seconds,rate\n"), CheckError);
+}
+
+TEST(TraceIo, JsonMismatchedArraysThrow) {
+  JsonObject obj;
+  obj["t_s"] = JsonArray{0.0, 1.0};
+  obj["rate_rps"] = JsonArray{5.0};
+  EXPECT_THROW(RateFunctionFromJson(JsonValue(std::move(obj))), CheckError);
+}
+
+TEST(TraceIo, SyntheticTraceSurvivesRoundTrip) {
+  TraceOptions o;
+  o.duration_s = 120.0;
+  const RateFunction f = MakeTweetTrace(o);
+  const RateFunction g = RateFunctionFromJson(RateFunctionToJson(f));
+  for (SimTime t = 0; t < SecToUs(120); t += SecToUs(3)) {
+    EXPECT_NEAR(g.At(t), f.At(t), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace pard
