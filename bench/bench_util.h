@@ -9,7 +9,9 @@
 #ifndef PARD_BENCH_BENCH_UTIL_H_
 #define PARD_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,30 @@ inline void Title(const std::string& name, const std::string& paper_ref) {
 
 inline void Section(const std::string& name) { std::printf("\n--- %s ---\n", name.c_str()); }
 
+// CI smoke runs override the standard workload size via the environment
+// (PARD_BENCH_DURATION_S / PARD_BENCH_BASE_RATE). Only benches built on
+// StdConfig honor it — benches that hardcode their own workload shape
+// (e.g. ext_failure, fig06_batchwait) ignore these variables.
+// A malformed or non-positive value aborts rather than silently shrinking
+// the workload to nothing.
+inline double EnvOr(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !std::isfinite(parsed) || parsed <= 0.0) {
+    std::fprintf(stderr, "invalid %s=\"%s\" (expected a positive number)\n", name, v);
+    std::exit(2);
+  }
+  // Make the override visible so shrunken smoke-run numbers are never
+  // mistaken for a failed paper reproduction.
+  std::fprintf(stderr, "note: %s=%g overrides the standard workload (default %g)\n",
+               name, parsed, fallback);
+  return parsed;
+}
+
 // Standard compressed workload: the paper's ~1000 s traces shrunk to keep
 // every bench under a minute while preserving the burst structure. The rate
 // is chosen so burst peaks exceed mean-provisioned capacity.
@@ -36,8 +62,11 @@ inline ExperimentConfig StdConfig(const std::string& app, const std::string& tra
   c.app = app;
   c.trace = trace;
   c.policy = policy;
-  c.duration_s = 150.0;
-  c.base_rate = 200.0;
+  // Parsed once so sweep benches don't reprint the override note per run.
+  static const double duration_s = EnvOr("PARD_BENCH_DURATION_S", 150.0);
+  static const double base_rate = EnvOr("PARD_BENCH_BASE_RATE", 200.0);
+  c.duration_s = duration_s;
+  c.base_rate = base_rate;
   c.seed = 7;
   // Paper setup: resource scaling is on; capacity tracks the smoothed rate
   // with headroom, so drops concentrate in the burst/cold-start windows and

@@ -1,0 +1,52 @@
+// dump_configs — regenerate configs/*.json from the built-in app definitions.
+//
+// The shipped JSON pipeline specs must round-trip against MakeApp() exactly
+// (tests/configs_test.cc asserts this), so they are machine-generated rather
+// than hand-written:
+//
+//   dump_configs [output_dir]     (default: configs)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "pipeline/apps.h"
+#include "pipeline/pipeline_spec.h"
+
+namespace {
+
+struct AppFile {
+  const char* app;
+  const char* file;
+};
+
+constexpr AppFile kAppFiles[] = {
+    {"tm", "traffic_monitoring.json"},
+    {"lv", "live_video.json"},
+    {"gm", "game_analysis.json"},
+    {"da", "dag_live_video.json"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "configs";
+  for (const AppFile& af : kAppFiles) {
+    const pard::PipelineSpec spec = pard::MakeApp(af.app);
+    const std::string path = out_dir + "/" + af.file;
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s (does %s/ exist?)\n", path.c_str(),
+                   out_dir.c_str());
+      return 1;
+    }
+    out << spec.ToJson().Dump(2) << "\n";
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "write to %s failed\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s, %d modules)\n", path.c_str(), spec.app_name().c_str(),
+                spec.NumModules());
+  }
+  return 0;
+}
