@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "harness/experiment.h"
 
 namespace pard {
@@ -53,6 +54,54 @@ inline double EnvOr(const char* name, double fallback) {
   return parsed;
 }
 
+// Worker-thread count for sweep benches: the strictly-validated PARD_JOBS
+// override, defaulting to one job per hardware thread. Garbage or
+// non-positive values abort, mirroring the PARD_BENCH_* contract.
+inline int Jobs() {
+  static const int jobs = [] {
+    const char* v = std::getenv("PARD_JOBS");
+    if (v == nullptr || *v == '\0') {
+      return ThreadPool::ResolveJobs(0);
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed <= 0 || parsed > 4096) {
+      std::fprintf(stderr, "invalid PARD_JOBS=\"%s\" (expected an integer in [1, 4096])\n", v);
+      std::exit(2);
+    }
+    std::fprintf(stderr, "note: PARD_JOBS=%ld overrides the worker count (default %d)\n",
+                 parsed, ThreadPool::ResolveJobs(0));
+    return static_cast<int>(parsed);
+  }();
+  return jobs;
+}
+
+// Effective workload line in every result header: compressed runs announce
+// themselves, so shrunken smoke/CI numbers can't be mistaken for the paper's
+// ~1000 s scale.
+inline void WorkloadHeader(double duration_s, double base_rate, int jobs) {
+  std::printf("workload: duration %g s, base rate %g req/s, %d job%s%s\n", duration_s,
+              base_rate, jobs, jobs == 1 ? "" : "s",
+              duration_s < 1000.0 ? "  [compressed; paper scale ~1000 s]" : "  [paper scale]");
+}
+
+// The StdConfig workload shape, parsed once so sweep benches don't reprint
+// the override note per run.
+inline double StdDuration() {
+  static const double duration_s = EnvOr("PARD_BENCH_DURATION_S", 150.0);
+  return duration_s;
+}
+inline double StdBaseRate() {
+  static const double base_rate = EnvOr("PARD_BENCH_BASE_RATE", 200.0);
+  return base_rate;
+}
+
+// Header for benches built on StdConfig. Serial benches take the default;
+// sweep benches pass Jobs().
+inline void StdWorkloadHeader(int jobs = 1) {
+  WorkloadHeader(StdDuration(), StdBaseRate(), jobs);
+}
+
 // Standard compressed workload: the paper's ~1000 s traces shrunk to keep
 // every bench under a minute while preserving the burst structure. The rate
 // is chosen so burst peaks exceed mean-provisioned capacity.
@@ -62,11 +111,8 @@ inline ExperimentConfig StdConfig(const std::string& app, const std::string& tra
   c.app = app;
   c.trace = trace;
   c.policy = policy;
-  // Parsed once so sweep benches don't reprint the override note per run.
-  static const double duration_s = EnvOr("PARD_BENCH_DURATION_S", 150.0);
-  static const double base_rate = EnvOr("PARD_BENCH_BASE_RATE", 200.0);
-  c.duration_s = duration_s;
-  c.base_rate = base_rate;
+  c.duration_s = StdDuration();
+  c.base_rate = StdBaseRate();
   c.seed = 7;
   // Paper setup: resource scaling is on; capacity tracks the smoothed rate
   // with headroom, so drops concentrate in the burst/cold-start windows and

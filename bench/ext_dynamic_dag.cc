@@ -63,6 +63,7 @@ pard::PipelineSpec AsymmetricDag() {
 int main() {
   pard::bench::Title("ext_dynamic_dag",
                      "§5.2 dynamic-path DAG study + path-prediction future work");
+  pard::bench::StdWorkloadHeader();
 
   pard::bench::Section("(1) paper's `da` app: static vs dynamic routing (PARD)");
   std::printf("%-8s %18s %18s %18s\n", "trace", "pard (static)", "pard (dynamic)",

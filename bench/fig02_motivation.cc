@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -17,6 +19,23 @@ int main() {
   pard::bench::Title("fig02_motivation",
                      "Fig. 2a/2b (min goodput & drop rate vs window), Fig. 2c (drop "
                      "placement), Fig. 2d (transient drop rate)");
+  pard::bench::StdWorkloadHeader(pard::bench::Jobs());
+
+  // One sweep grid: the four systems on lv-tweet (panels a/b/d) followed by
+  // the six reactive-policy workloads (panel c). All ten runs are
+  // independent, so they execute concurrently on the bench worker pool.
+  const std::vector<std::pair<std::string, std::string>> kReactiveWorkloads = {
+      {"lv", "tweet"}, {"lv", "wiki"}, {"tm", "tweet"},
+      {"tm", "wiki"},  {"gm", "tweet"}, {"gm", "wiki"}};
+  std::vector<pard::ExperimentConfig> grid;
+  for (const auto& sys : pard::bench::Systems()) {
+    grid.push_back(StdConfig("lv", "tweet", sys));
+  }
+  for (const auto& [app, trace] : kReactiveWorkloads) {
+    grid.push_back(StdConfig(app, trace, "nexus"));
+  }
+  std::vector<pard::ExperimentResult> results =
+      pard::RunExperiments(grid, pard::bench::Jobs());
 
   // ---- (a) + (b): lv-tweet, window sweep -----------------------------------
   pard::bench::Section("(a) min normalized goodput / (b) max window drop rate, lv-tweet");
@@ -26,8 +45,8 @@ int main() {
   }
   std::printf("\n");
   std::map<std::string, pard::ExperimentResult> runs;
-  for (const auto& sys : pard::bench::Systems()) {
-    runs.emplace(sys, pard::RunExperiment(StdConfig("lv", "tweet", sys)));
+  for (std::size_t s = 0; s < pard::bench::Systems().size(); ++s) {
+    runs.emplace(pard::bench::Systems()[s], std::move(results[s]));
   }
   for (const double window_s : {22.0, 24.0, 26.0}) {
     std::printf("%-12s", (std::to_string(static_cast<int>(window_s)) + "s").c_str());
@@ -49,24 +68,23 @@ int main() {
     std::printf(" %6s", ("M" + std::to_string(m)).c_str());
   }
   std::printf("   late-half\n");
-  for (const std::string app : {"lv", "tm", "gm"}) {
-    for (const std::string trace : {"tweet", "wiki"}) {
-      const auto r = pard::RunExperiment(StdConfig(app, trace, "nexus"));
-      const auto share = r.analysis->PerModuleDropShare();
-      std::printf("%-10s", (app + "-" + trace).c_str());
-      double late = 0.0;
-      for (std::size_t m = 0; m < 5; ++m) {
-        if (m < share.size()) {
-          std::printf(" %5.1f%%", Pct(share[m]));
-          if (m >= share.size() / 2) {
-            late += share[m];
-          }
-        } else {
-          std::printf(" %6s", "-");
+  for (std::size_t w = 0; w < kReactiveWorkloads.size(); ++w) {
+    const auto& [app, trace] = kReactiveWorkloads[w];
+    const auto& r = results[pard::bench::Systems().size() + w];
+    const auto share = r.analysis->PerModuleDropShare();
+    std::printf("%-10s", (app + "-" + trace).c_str());
+    double late = 0.0;
+    for (std::size_t m = 0; m < 5; ++m) {
+      if (m < share.size()) {
+        std::printf(" %5.1f%%", Pct(share[m]));
+        if (m >= share.size() / 2) {
+          late += share[m];
         }
+      } else {
+        std::printf(" %6s", "-");
       }
-      std::printf("   %5.1f%%\n", Pct(late));
     }
+    std::printf("   %5.1f%%\n", Pct(late));
   }
   std::printf("paper: 57.1%%-97.2%% of reactive drops land in the latter half of the pipeline.\n");
 

@@ -12,6 +12,7 @@ using pard::bench::StdConfig;
 int main() {
   pard::bench::Title("fig08_drop_invalid",
                      "Fig. 8 (drop & invalid rates, 12 workloads x 4 systems)");
+  pard::bench::StdWorkloadHeader();
 
   std::map<std::string, double> drop_ratio_sum;
   std::map<std::string, double> invalid_ratio_sum;

@@ -12,6 +12,7 @@ using pard::bench::StdConfig;
 int main() {
   pard::bench::Title("fig09_transient_drop",
                      "Fig. 9 (max window drop rate vs window size, 12 panels)");
+  pard::bench::StdWorkloadHeader();
   for (const std::string app : {"lv", "tm", "gm", "da"}) {
     for (const std::string trace : {"wiki", "tweet", "azure"}) {
       pard::bench::Section(app + "-" + trace);

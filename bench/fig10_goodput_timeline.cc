@@ -12,6 +12,7 @@ using pard::bench::StdConfig;
 int main() {
   pard::bench::Title("fig10_goodput_timeline",
                      "Fig. 10 (traces + normalized goodput timelines, 12 panels)");
+  pard::bench::StdWorkloadHeader();
 
   // ---- left side: the trace shapes -----------------------------------------
   pard::bench::Section("trace rate curves (compressed reproductions)");

@@ -4,6 +4,8 @@
 //  (b) percentage of drops at each module
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -12,18 +14,30 @@ using pard::bench::StdConfig;
 
 int main() {
   pard::bench::Title("fig11_ablation", "Table 1 + Fig. 11a/11b (ablation study, lv-tweet)");
+  pard::bench::StdWorkloadHeader(pard::bench::Jobs());
 
-  pard::bench::Section("(a) drop & invalid rate  /  (b) drop placement per module");
-  std::printf("%-14s %10s %12s   %s\n", "ablation", "drop", "invalid", "M1..M5 drop share");
-  double pard_drop = 1.0;
-  double pard_invalid = 1.0;
-  for (const std::string& name : pard::AblationPolicyNames()) {
+  // Every ablation is an independent run on the same arrival stream; the
+  // whole grid executes concurrently on the bench worker pool.
+  const std::vector<std::string> names = pard::AblationPolicyNames();
+  std::vector<pard::ExperimentConfig> grid;
+  for (const std::string& name : names) {
     pard::ExperimentConfig cfg = StdConfig("lv", "tweet", name);
     if (name == "pard-oc") {
       cfg.params.oc_threshold = 25 * pard::kUsPerMs;  // Paper's tweet tuning.
       cfg.params.oc_alpha = 0.4;
     }
-    const auto r = pard::RunExperiment(cfg);
+    grid.push_back(std::move(cfg));
+  }
+  const std::vector<pard::ExperimentResult> results =
+      pard::RunExperiments(grid, pard::bench::Jobs());
+
+  pard::bench::Section("(a) drop & invalid rate  /  (b) drop placement per module");
+  std::printf("%-14s %10s %12s   %s\n", "ablation", "drop", "invalid", "M1..M5 drop share");
+  double pard_drop = 1.0;
+  double pard_invalid = 1.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto& r = results[i];
     const double drop = r.analysis->DropRate();
     const double invalid = r.analysis->InvalidRate();
     if (name == "pard") {

@@ -15,6 +15,7 @@ using pard::bench::StdConfig;
 
 int main() {
   pard::bench::Title("fig12_budget_analysis", "Fig. 12a-12d (latency budget analysis, lv-tweet)");
+  pard::bench::StdWorkloadHeader();
 
   // ---- (a) consumed budget per module, scaling on ----------------------------
   pard::bench::Section("(a) mean consumed latency budget per module (ms), SLO-compliant requests");

@@ -1,6 +1,8 @@
 // Figure 14b: SLO sensitivity. Drop rate as the end-to-end SLO sweeps
 // 200-600 ms; all systems re-plan their batch sizes per SLO.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -9,18 +11,30 @@ using pard::bench::StdConfig;
 
 int main() {
   pard::bench::Title("fig14b_slo", "Fig. 14b (drop rate vs SLO, 200-600 ms)");
+  pard::bench::StdWorkloadHeader(pard::bench::Jobs());
+
+  // (SLO x system) sweep grid, run concurrently.
+  const std::vector<double> slos_ms = {200.0, 300.0, 400.0, 500.0, 600.0};
+  std::vector<pard::ExperimentConfig> grid;
+  for (const double slo_ms : slos_ms) {
+    for (const auto& sys : pard::bench::Systems()) {
+      pard::ExperimentConfig cfg = StdConfig("lv", "tweet", sys);
+      cfg.slo_override = pard::MsToUs(slo_ms);
+      grid.push_back(std::move(cfg));
+    }
+  }
+  const std::vector<pard::ExperimentResult> results =
+      pard::RunExperiments(grid, pard::bench::Jobs());
 
   std::printf("%-10s", "SLO (ms)");
   for (const auto& sys : pard::bench::Systems()) {
     std::printf(" %12s", sys.c_str());
   }
   std::printf("\n");
-  for (const double slo_ms : {200.0, 300.0, 400.0, 500.0, 600.0}) {
-    std::printf("%-10.0f", slo_ms);
-    for (const auto& sys : pard::bench::Systems()) {
-      pard::ExperimentConfig cfg = StdConfig("lv", "tweet", sys);
-      cfg.slo_override = pard::MsToUs(slo_ms);
-      const auto r = pard::RunExperiment(cfg);
+  for (std::size_t i = 0; i < slos_ms.size(); ++i) {
+    std::printf("%-10.0f", slos_ms[i]);
+    for (std::size_t s = 0; s < pard::bench::Systems().size(); ++s) {
+      const auto& r = results[i * pard::bench::Systems().size() + s];
       std::printf(" %11.2f%%", Pct(r.analysis->DropRate()));
     }
     std::printf("\n");

@@ -2,6 +2,8 @@
 // lambda sweeps 0..1 for the four applications under the tweet trace.
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -10,19 +12,31 @@ using pard::bench::StdConfig;
 
 int main() {
   pard::bench::Title("fig14c_lambda", "Fig. 14c (drop rate vs quantile lambda)");
+  pard::bench::StdWorkloadHeader(pard::bench::Jobs());
 
-  const double lambdas[] = {0.01, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0};
+  // (lambda x app) sweep grid, run concurrently.
+  const std::vector<double> lambdas = {0.01, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0};
+  const std::vector<std::string> apps = {"lv", "tm", "gm", "da"};
+  std::vector<pard::ExperimentConfig> grid;
+  for (const double lambda : lambdas) {
+    for (const std::string& app : apps) {
+      pard::ExperimentConfig cfg = StdConfig(app, "tweet", "pard");
+      cfg.params.lambda = lambda;
+      grid.push_back(std::move(cfg));
+    }
+  }
+  const std::vector<pard::ExperimentResult> results =
+      pard::RunExperiments(grid, pard::bench::Jobs());
+
   std::printf("%-10s", "lambda");
-  for (const std::string app : {"lv", "tm", "gm", "da"}) {
+  for (const std::string& app : apps) {
     std::printf(" %10s", app.c_str());
   }
   std::printf("\n");
-  for (const double lambda : lambdas) {
-    std::printf("%-10.3f", lambda);
-    for (const std::string app : {"lv", "tm", "gm", "da"}) {
-      pard::ExperimentConfig cfg = StdConfig(app, "tweet", "pard");
-      cfg.params.lambda = lambda;
-      const auto r = pard::RunExperiment(cfg);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    std::printf("%-10.3f", lambdas[i]);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const auto& r = results[i * apps.size() + a];
       std::printf(" %9.2f%%", Pct(r.analysis->DropRate()));
     }
     std::printf("\n");

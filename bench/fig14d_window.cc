@@ -3,6 +3,8 @@
 // sweeps 1-15 s.
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -11,15 +13,27 @@ using pard::bench::StdConfig;
 
 int main() {
   pard::bench::Title("fig14d_window", "Fig. 14d (drop rate vs sliding-window size)");
+  pard::bench::StdWorkloadHeader(pard::bench::Jobs());
 
-  const double windows_s[] = {1.0, 2.0, 3.0, 4.0, 5.0, 7.5, 10.0, 15.0};
-  std::printf("%-12s %10s %10s %10s\n", "window (s)", "wiki", "tweet", "azure");
+  // (window x trace) sweep grid, run concurrently.
+  const std::vector<double> windows_s = {1.0, 2.0, 3.0, 4.0, 5.0, 7.5, 10.0, 15.0};
+  const std::vector<std::string> traces = {"wiki", "tweet", "azure"};
+  std::vector<pard::ExperimentConfig> grid;
   for (const double w : windows_s) {
-    std::printf("%-12.1f", w);
-    for (const std::string trace : {"wiki", "tweet", "azure"}) {
+    for (const std::string& trace : traces) {
       pard::ExperimentConfig cfg = StdConfig("lv", trace, "pard");
       cfg.runtime.stats_window = pard::SecToUs(w);
-      const auto r = pard::RunExperiment(cfg);
+      grid.push_back(std::move(cfg));
+    }
+  }
+  const std::vector<pard::ExperimentResult> results =
+      pard::RunExperiments(grid, pard::bench::Jobs());
+
+  std::printf("%-12s %10s %10s %10s\n", "window (s)", "wiki", "tweet", "azure");
+  for (std::size_t i = 0; i < windows_s.size(); ++i) {
+    std::printf("%-12.1f", windows_s[i]);
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const auto& r = results[i * traces.size() + t];
       std::printf(" %9.2f%%", Pct(r.analysis->DropRate()));
     }
     std::printf("\n");

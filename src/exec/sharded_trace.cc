@@ -1,0 +1,68 @@
+#include "exec/sharded_trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pard {
+
+ShardedTrace::ShardedTrace(const std::vector<SimTime>& arrivals, SimTime begin, SimTime end,
+                           const ShardOptions& options) {
+  PARD_CHECK_MSG(begin <= end, "sharded trace has negative span");
+  const int count = std::max(1, options.shards);
+  const Duration warmup = std::max<Duration>(0, options.warmup);
+  shards_.resize(static_cast<std::size_t>(count));
+
+  // Equal-width time partition. Integer arithmetic keeps shard edges exact:
+  // shard i covers [begin + i*width, begin + (i+1)*width), the last shard
+  // absorbing the remainder up to `end`.
+  const Duration span = end - begin;
+  const Duration width = span / count;
+  for (int i = 0; i < count; ++i) {
+    Shard& shard = shards_[static_cast<std::size_t>(i)];
+    shard.begin = begin + width * i;
+    shard.end = (i == count - 1) ? end : begin + width * (i + 1);
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    const SimTime warm_begin =
+        (i == 0) ? shard.begin : std::max(begin, shard.begin - warmup);
+    const auto first =
+        std::lower_bound(arrivals.begin(), arrivals.end(), warm_begin);
+    const auto core_first =
+        std::lower_bound(arrivals.begin(), arrivals.end(), shard.begin);
+    // The last shard is closed on the right: SecToUs rounding can land an
+    // arrival exactly on `end`, and it must not fall out of every shard.
+    const auto last = (i + 1 == shards_.size())
+                          ? arrivals.end()
+                          : std::lower_bound(arrivals.begin(), arrivals.end(), shard.end);
+    shard.arrivals.assign(first, last);
+    shard.warmup_count = static_cast<std::size_t>(core_first - first);
+  }
+}
+
+std::vector<RequestPtr> MergeShardRecords(const ShardedTrace& trace,
+                                          std::vector<std::vector<RequestPtr>> shard_requests) {
+  PARD_CHECK_MSG(shard_requests.size() == trace.size(),
+                 "record sets do not match shard count");
+  std::vector<RequestPtr> merged;
+  for (std::size_t i = 0; i < shard_requests.size(); ++i) {
+    const ShardedTrace::Shard& shard = trace.shards()[i];
+    const bool last_shard = (i + 1 == shard_requests.size());
+    for (RequestPtr& req : shard_requests[i]) {
+      // Warm-up replays belong to the previous shard's records; core-interval
+      // requests are kept in arrival order (runtimes inject in send order).
+      // The last shard's interval is closed on the right, matching the
+      // partition above.
+      if (req->sent >= shard.begin &&
+          (req->sent < shard.end || (last_shard && req->sent == shard.end))) {
+        merged.push_back(std::move(req));
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace pard

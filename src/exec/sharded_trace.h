@@ -1,0 +1,75 @@
+// Time-sharding of long arrival traces across cores.
+//
+// A paper-length (~1000 s) trace is one long serial simulation. To run it in
+// seconds, the single deterministic arrival stream is split into contiguous
+// time shards, each shard is served by its own independent PipelineRuntime,
+// and the per-shard request records are merged for metrics analysis.
+//
+// Because pipeline state (queues, estimator windows, scaling level) does not
+// carry across shard boundaries, every shard after the first replays a
+// warm-up prefix of the preceding shard's arrivals before its own interval.
+// Requests sent during warm-up prime queues and statistics but are excluded
+// from the merged records, so no request is double-counted. Sharding is an
+// approximation of the unsharded run that converges as warm-up grows; it is
+// exact in its accounting (each arrival is attributed to exactly one shard).
+//
+// Determinism: the full stream is generated once up front, and the partition
+// depends only on timestamps and the shard count — never on thread count or
+// completion order.
+#ifndef PARD_EXEC_SHARDED_TRACE_H_
+#define PARD_EXEC_SHARDED_TRACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time_types.h"
+#include "runtime/request.h"
+
+namespace pard {
+
+struct ShardOptions {
+  // Number of time shards (< 1 is clamped to 1).
+  int shards = 1;
+  // Warm-up overlap prepended to every shard after the first. The default of
+  // 10 s covers two of the runtime's 5 s statistics windows.
+  Duration warmup = 10 * kUsPerSec;
+};
+
+class ShardedTrace {
+ public:
+  struct Shard {
+    // Core interval [begin, end): requests sent here belong to this shard.
+    // The last shard is closed on the right ([begin, end]) so an arrival
+    // rounded exactly onto the trace end still lands in a shard.
+    SimTime begin = 0;
+    SimTime end = 0;
+    // Arrivals the shard actually simulates: [max(stream begin, begin -
+    // warmup), end). Entries before `begin` are warm-up.
+    std::vector<SimTime> arrivals;
+    // How many leading entries of `arrivals` are warm-up replays.
+    std::size_t warmup_count = 0;
+  };
+
+  // Partitions `arrivals` (sorted client send times) over [begin, end) into
+  // equal-width time shards. Degenerates to one shard holding the whole
+  // stream when options.shards == 1.
+  ShardedTrace(const std::vector<SimTime>& arrivals, SimTime begin, SimTime end,
+               const ShardOptions& options);
+
+  const std::vector<Shard>& shards() const { return shards_; }
+  std::size_t size() const { return shards_.size(); }
+
+ private:
+  std::vector<Shard> shards_;
+};
+
+// Merges per-shard request records into one stream ordered by send time.
+// `shard_requests[i]` are the records left behind by shard i's runtime; only
+// requests sent inside shard i's core interval survive (warm-up replays are
+// dropped), so the result has exactly one record per original arrival.
+std::vector<RequestPtr> MergeShardRecords(const ShardedTrace& trace,
+                                          std::vector<std::vector<RequestPtr>> shard_requests);
+
+}  // namespace pard
+
+#endif  // PARD_EXEC_SHARDED_TRACE_H_

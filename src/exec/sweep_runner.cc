@@ -1,0 +1,29 @@
+#include "exec/sweep_runner.h"
+
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+
+namespace pard {
+
+std::uint64_t TaskSeed(std::uint64_t base_seed, std::size_t task_index) {
+  return Rng(base_seed).Fork("task:" + std::to_string(task_index)).NextU64();
+}
+
+std::vector<ExperimentResult> SweepRunner::Run(
+    const std::vector<ExperimentConfig>& configs) const {
+  std::vector<ExperimentResult> results(configs.size());
+  const bool derive = options_.derive_task_seeds;
+  ParallelFor(options_.jobs, configs.size(), [&configs, &results, derive](std::size_t i) {
+    ExperimentConfig config = configs[i];
+    if (derive) {
+      config.seed = TaskSeed(config.seed, i);
+    }
+    results[i] = RunExperiment(config);
+  });
+  return results;
+}
+
+}  // namespace pard

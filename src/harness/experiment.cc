@@ -2,47 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "exec/sharded_trace.h"
+#include "exec/sweep_runner.h"
+#include "exec/thread_pool.h"
 #include "pipeline/apps.h"
 #include "trace/arrival_generator.h"
 
 namespace pard {
 
-ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  ExperimentResult result;
-  result.spec = config.custom_spec.has_value() ? *config.custom_spec : MakeApp(config.app);
-  if (config.slo_override > 0) {
-    result.spec = PipelineSpec(result.spec.app_name(), config.slo_override,
-                               result.spec.modules());
-  }
+namespace {
 
-  TraceOptions trace_options;
-  trace_options.duration_s = config.duration_s;
-  trace_options.base_rate = config.base_rate;
-  trace_options.seed = config.seed;
-  result.trace = MakeTrace(config.trace, trace_options);
-  result.burst_region = BurstRegion(config.trace, trace_options);
+PipelineSpec BuildSpec(const ExperimentConfig& config) {
+  PipelineSpec spec =
+      config.custom_spec.has_value() ? *config.custom_spec : MakeApp(config.app);
+  if (config.slo_override > 0) {
+    spec = PipelineSpec(spec.app_name(), config.slo_override, spec.modules());
+  }
+  return spec;
+}
+
+// Fills the trace-derived fields of `result` and returns the arrival stream.
+// The same (seed, trace) always yields the same arrivals regardless of
+// policy, so comparisons share workloads exactly.
+std::vector<SimTime> BuildWorkload(const ExperimentConfig& config, ExperimentResult& result) {
+  if (config.custom_trace.has_value()) {
+    result.trace = *config.custom_trace;
+    result.burst_region = TraceRegion{0, 0};
+  } else {
+    TraceOptions trace_options;
+    trace_options.duration_s = config.duration_s;
+    trace_options.base_rate = config.base_rate;
+    trace_options.seed = config.seed;
+    result.trace = MakeTrace(config.trace, trace_options);
+    result.burst_region = BurstRegion(config.trace, trace_options);
+  }
   result.mean_input_rate = result.trace.MeanRate(0, SecToUs(config.duration_s));
 
-  // The same (seed, trace) always yields the same arrival stream regardless
-  // of policy, so comparisons share workloads exactly.
   Rng arrival_rng = Rng(config.seed).Fork("arrivals:" + config.trace);
-  const std::vector<SimTime> arrivals =
+  std::vector<SimTime> arrivals =
       GenerateArrivals(result.trace, 0, SecToUs(config.duration_s), arrival_rng);
   PARD_CHECK_MSG(!arrivals.empty(), "trace produced no arrivals");
+  return arrivals;
+}
 
-  PolicyParams params = config.params;
-  params.seed = config.seed;
-  std::unique_ptr<DropPolicy> policy = MakePolicy(config.policy, params);
-
+RuntimeOptions BuildRuntimeOptions(const ExperimentConfig& config, std::uint64_t seed) {
   RuntimeOptions runtime = config.runtime;
-  runtime.seed = config.seed;
+  runtime.seed = seed;
   if (runtime.provision_headroom == RuntimeOptions{}.provision_headroom) {
     runtime.provision_headroom = config.provision_factor;
   }
+  return runtime;
+}
+
+std::unique_ptr<DropPolicy> BuildPolicy(const ExperimentConfig& config, std::uint64_t seed) {
+  PolicyParams params = config.params;
+  params.seed = seed;
+  return MakePolicy(config.policy, params);
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.spec = BuildSpec(config);
+  const std::vector<SimTime> arrivals = BuildWorkload(config, result);
+
+  std::unique_ptr<DropPolicy> policy = BuildPolicy(config, config.seed);
+  const RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
 
   PipelineRuntime pipeline(result.spec, runtime, policy.get(), result.mean_input_rate);
   pipeline.RunTrace(arrivals);
@@ -52,6 +83,45 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.transitions = pard->transition_log();
   }
   result.analysis = std::make_unique<RunAnalysis>(pipeline.requests(), result.spec);
+  return result;
+}
+
+std::vector<ExperimentResult> RunExperiments(const std::vector<ExperimentConfig>& configs,
+                                             int jobs) {
+  SweepOptions options;
+  options.jobs = jobs;
+  return SweepRunner(options).Run(configs);
+}
+
+ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards, int jobs) {
+  if (shards <= 1) {
+    return RunExperiment(config);
+  }
+  ExperimentResult result;
+  result.spec = BuildSpec(config);
+  const std::vector<SimTime> arrivals = BuildWorkload(config, result);
+
+  ShardOptions shard_options;
+  shard_options.shards = shards;
+  const ShardedTrace sharded(arrivals, 0, SecToUs(config.duration_s), shard_options);
+
+  // Each shard owns a full runtime under a shard-indexed seed, so outcomes
+  // depend only on the partition — never on which thread ran which shard.
+  std::vector<std::vector<RequestPtr>> shard_requests(sharded.size());
+  const double expected_rate = result.mean_input_rate;
+  const PipelineSpec& spec = result.spec;
+  ParallelFor(jobs, sharded.size(), [&](std::size_t i) {
+    const std::uint64_t shard_seed =
+        Rng(config.seed).Fork("shard:" + std::to_string(i)).NextU64();
+    std::unique_ptr<DropPolicy> policy = BuildPolicy(config, shard_seed);
+    const RuntimeOptions runtime = BuildRuntimeOptions(config, shard_seed);
+    PipelineRuntime pipeline(spec, runtime, policy.get(), expected_rate);
+    pipeline.RunTrace(sharded.shards()[i].arrivals);
+    shard_requests[i] = pipeline.requests();
+  });
+
+  result.analysis = std::make_unique<RunAnalysis>(
+      MergeShardRecords(sharded, std::move(shard_requests)), result.spec);
   return result;
 }
 
@@ -83,15 +153,21 @@ ReplicatedMetric Summarize(const std::vector<double>& values) {
 
 }  // namespace
 
-ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas) {
+ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas, int jobs) {
   PARD_CHECK(replicas >= 1);
-  std::vector<double> drops;
-  std::vector<double> invalids;
-  std::vector<double> goodputs;
+  std::vector<ExperimentConfig> grid;
+  grid.reserve(static_cast<std::size_t>(replicas));
   for (int i = 0; i < replicas; ++i) {
     ExperimentConfig replica = config;
     replica.seed = config.seed + static_cast<std::uint64_t>(i);
-    const ExperimentResult r = RunExperiment(replica);
+    grid.push_back(std::move(replica));
+  }
+  const std::vector<ExperimentResult> results = RunExperiments(grid, jobs);
+
+  std::vector<double> drops;
+  std::vector<double> invalids;
+  std::vector<double> goodputs;
+  for (const ExperimentResult& r : results) {
     drops.push_back(r.analysis->DropRate());
     invalids.push_back(r.analysis->InvalidRate());
     goodputs.push_back(r.analysis->NormalizedGoodput());

@@ -37,6 +37,11 @@ struct ExperimentConfig {
   // or synthetic spec).
   std::optional<PipelineSpec> custom_spec;
 
+  // When set, overrides `trace` with an arbitrary rate curve (e.g. a constant
+  // offered rate or a bespoke oscillation). `duration_s` still bounds the
+  // arrival window; `base_rate` is ignored and the burst region is empty.
+  std::optional<RateFunction> custom_trace;
+
   // Trace shape. Defaults compress the paper's ~1000 s traces into 240 s at
   // a rate the simulated cluster can serve at mean load but not at burst
   // peaks — the regime where dropping policy matters.
@@ -70,9 +75,26 @@ struct ExperimentResult {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
+// Runs a grid of independent experiments on `jobs` worker threads (jobs < 1
+// means one per hardware thread; see exec/sweep_runner.h). Results are
+// positionally matched to configs and bit-identical for every job count —
+// parallelism changes wall-clock only, never numbers.
+std::vector<ExperimentResult> RunExperiments(const std::vector<ExperimentConfig>& configs,
+                                             int jobs);
+
+// Runs one long experiment by time-sharding its arrival stream across
+// `shards` independent runtimes executing on `jobs` threads (see
+// exec/sharded_trace.h for the warm-up-overlap approximation this makes).
+// For a fixed shard count the result is bit-identical across job counts;
+// shards == 1 is exactly RunExperiment. The merged result carries the
+// request records and analysis; the PARD transition log and worker history
+// are per-runtime artifacts and stay empty for sharded runs.
+ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards, int jobs);
+
 // Replicated runs: the same experiment across `replicas` seeds
 // (config.seed, config.seed+1, ...), with mean and sample standard deviation
-// of the headline metrics. Use to put error bars on any comparison.
+// of the headline metrics. Use to put error bars on any comparison. Replicas
+// are independent, so they run on `jobs` threads like RunExperiments.
 struct ReplicatedMetric {
   double mean = 0.0;
   double stddev = 0.0;
@@ -87,7 +109,7 @@ struct ReplicatedResult {
   ReplicatedMetric normalized_goodput;
 };
 
-ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas);
+ReplicatedResult RunReplicated(const ExperimentConfig& config, int replicas, int jobs = 1);
 
 }  // namespace pard
 

@@ -6,12 +6,16 @@
 //   pardsim --app lv --trace tweet --policy pard --duration-s 150
 //           --base-rate 200 --scaling --json
 //
-// See --help for all knobs.
+// Long traces can be time-sharded across cores: --shards N splits the
+// arrival stream into N independent runtimes executed on --jobs worker
+// threads (see src/exec/sharded_trace.h for the warm-up-overlap
+// approximation). See --help for all knobs.
 #include <cstdio>
 #include <string>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "exec/thread_pool.h"
 #include "harness/experiment.h"
 #include "metrics/report.h"
 #include "pipeline/pipeline_spec.h"
@@ -35,6 +39,10 @@ pard::FlagSet BuildFlags() {
   flags.AddDouble("provision", 1.25, "capacity headroom over the mean rate");
   flags.AddDouble("window-s", 5.0, "state-planner sliding window length");
   flags.AddInt("seed", 7, "master random seed");
+  flags.AddInt("jobs", 0, "worker threads for sharded execution (0 = one per hardware thread)");
+  flags.AddInt("shards", 1,
+               "time-shard the trace across this many independent runtimes (1 = exact "
+               "single-runtime simulation)");
   flags.AddBool("scaling", true, "enable the resource-scaling engine");
   flags.AddBool("dynamic-paths", false, "requests take one branch per fork (dynamic DAG)");
   flags.AddBool("json", false, "emit a full JSON report instead of text");
@@ -87,9 +95,23 @@ int main(int argc, char** argv) {
     config.custom_spec = pard::PipelineSpec::FromJsonText(text);
   }
 
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1 (got %d)\n", shards);
+    return 2;
+  }
+  const std::int64_t jobs_flag = flags.GetInt("jobs");
+  if (jobs_flag < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0 (got %lld; 0 = one per hardware thread)\n",
+                 static_cast<long long>(jobs_flag));
+    return 2;
+  }
+  const int jobs = pard::ThreadPool::ResolveJobs(static_cast<int>(jobs_flag));
+
   pard::ExperimentResult result;
   try {
-    result = pard::RunExperiment(config);
+    result = shards > 1 ? pard::RunShardedExperiment(config, shards, jobs)
+                        : pard::RunExperiment(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "experiment failed: %s\n", e.what());
     return 1;
@@ -104,6 +126,12 @@ int main(int argc, char** argv) {
   std::printf("app=%s trace=%s policy=%s  (%zu requests, mean input %.0f req/s)\n",
               config.app.c_str(), config.trace.c_str(), config.policy.c_str(), a.Total(),
               result.mean_input_rate);
+  std::printf("workload: duration %g s, base rate %g req/s", config.duration_s,
+              config.base_rate);
+  if (shards > 1) {
+    std::printf(", %d shards on %d jobs", shards, jobs);
+  }
+  std::printf("\n");
   std::printf("goodput        %10.1f req/s  (normalized %.3f)\n", a.MeanGoodput(),
               a.NormalizedGoodput());
   std::printf("drop rate      %10.2f %%\n", 100.0 * a.DropRate());
