@@ -1,22 +1,38 @@
 // §5.4 overhead analysis, as google-benchmark micro-benchmarks:
 //  - DEPQ put()/get() at various queue depths (paper: O(log n), <0.16%
 //    request latency)
-//  - batch-wait distribution update, O(M * N) with M = 10 000 samples
+//  - event-kernel schedule/cancel/fire throughput (the simulator's innermost
+//    loop; every simulated action pays it)
+//  - batch-wait distribution update, O(M * N) with M samples
 //    (paper: asynchronous, no added request latency)
+//  - warm-epoch Request Broker decisions (between state syncs every
+//    admission reuses the epoch-cached estimate)
 //  - state synchronization payload construction (paper: <3.2 kbps/worker)
-//  - end-to-end Request Broker decision cost
+//  - end-to-end experiment runs (the number every other speedup rolls into)
+//
+// Machine-readable output: pass --json to emit the google-benchmark JSON
+// format on stdout (an alias for --benchmark_format=json). The checked-in
+// bench/BENCH_PR3.json is the pre-slab-kernel baseline captured with
+//   micro_overhead --json > bench/BENCH_PR3.json
+// and is the reference future perf work regresses against (see README
+// "Performance").
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/latency_estimator.h"
+#include "harness/experiment.h"
 #include "jsonio/json.h"
 #include "pipeline/apps.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
 #include "runtime/state_board.h"
+#include "sim/simulation.h"
 #include "stats/minmax_heap.h"
 
 namespace pard {
@@ -59,21 +75,89 @@ void BM_DepqPutGet(benchmark::State& state) {
 }
 BENCHMARK(BM_DepqPutGet)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
-void BM_BatchWaitDistributionUpdate(benchmark::State& state) {
-  // O(M(N-k+1)) with M = 10 000 reservoir samples across N = 5 modules.
-  const PipelineSpec lv = MakeLiveVideo();
+// --- Event kernel ----------------------------------------------------------
+
+// Schedule + fire at a steady pending depth, with a capture the size of the
+// runtime's delivery lambdas (shared_ptr + module id + runtime pointer): the
+// kernel's common case. One iteration = one scheduled and one fired event.
+void BM_EventScheduleFire(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  Simulation sim;
+  std::uint64_t sink = 0;
+  // 32 bytes of captured state, like Deliver()'s [this, captured, module_id].
+  struct Payload {
+    std::uint64_t* sink;
+    std::uint64_t a, b, c;
+  };
+  const Payload payload{&sink, 1, 2, 3};
+  SimTime horizon = 0;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    horizon += 7;
+    sim.ScheduleAt(horizon, [payload] { *payload.sink += payload.a; });
+  }
+  for (auto _ : state) {
+    horizon += 7;
+    sim.ScheduleAt(horizon, [payload] { *payload.sink += payload.a; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["executed"] =
+      benchmark::Counter(static_cast<double>(sim.ExecutedEvents()));
+}
+BENCHMARK(BM_EventScheduleFire)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096)->Arg(65536);
+
+// The timeout pattern: most scheduled events are cancelled before firing
+// (PARD re-arms per-request deadline work constantly). One iteration =
+// two schedules, one cancel, one fire, at a steady pending depth.
+void BM_EventScheduleCancel(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  Simulation sim;
+  std::uint64_t sink = 0;
+  SimTime horizon = 0;
+  std::vector<EventId> ring(static_cast<std::size_t>(depth), 0);
+  std::size_t head = 0;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    horizon += 5;
+    sim.ScheduleAt(horizon, [&sink] { ++sink; });
+    ring[static_cast<std::size_t>(i)] =
+        sim.ScheduleAt(horizon, [&sink] { sink += 2; });
+  }
+  for (auto _ : state) {
+    horizon += 5;
+    sim.ScheduleAt(horizon, [&sink] { ++sink; });
+    const EventId doomed = sim.ScheduleAt(horizon, [&sink] { sink += 2; });
+    benchmark::DoNotOptimize(sim.Cancel(ring[head]));
+    ring[head] = doomed;
+    head = (head + 1) % ring.size();
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventScheduleCancel)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096)->Arg(65536);
+
+// --- Estimator -------------------------------------------------------------
+
+// Board with the paper's M = 10 000 observed waits on every module.
+StateBoard SampledBoard(Rng* rng) {
   StateBoard board(5);
-  Rng rng(3);
   for (int i = 0; i < 5; ++i) {
     ModuleState s;
     s.module_id = i;
     s.batch_duration = 10 * kUsPerMs;
     s.wait_samples.reserve(10000);
     for (int j = 0; j < 10000; ++j) {
-      s.wait_samples.push_back(rng.Uniform(0.0, 10000.0));
+      s.wait_samples.push_back(rng->Uniform(0.0, 10000.0));
     }
     board.Publish(std::move(s));
   }
+  return board;
+}
+
+void BM_BatchWaitDistributionUpdate(benchmark::State& state) {
+  // O(M(N-k+1)) with M Monte-Carlo draws across N = 5 modules.
+  const PipelineSpec lv = MakeLiveVideo();
+  Rng rng(3);
+  StateBoard board = SampledBoard(&rng);
   EstimatorOptions options;
   options.mc_samples = static_cast<int>(state.range(0));
   LatencyEstimator est(&lv, &board, options, Rng(4));
@@ -101,6 +185,39 @@ void BM_BrokerDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_BrokerDecision);
 
+// Repeat decisions at a warm epoch: between state syncs the board version is
+// unchanged, so the paper's asynchronous-update model says the Monte-Carlo
+// aggregation should run once per epoch, not once per decision.
+void BM_BrokerDecisionWarmEpoch(benchmark::State& state) {
+  const PipelineSpec lv = MakeLiveVideo();
+  Rng rng(6);
+  StateBoard board = SampledBoard(&rng);
+  EstimatorOptions options;  // Default mc_samples = 512.
+  LatencyEstimator est(&lv, &board, options, Rng(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.AggregateWaitQuantile({1, 2, 3, 4}, 0.1));
+  }
+}
+BENCHMARK(BM_BrokerDecisionWarmEpoch);
+
+// Epoch advance: every decision lands just after a state sync, paying one
+// full Monte-Carlo refresh — the worst case the warm-epoch cache amortizes.
+void BM_BrokerDecisionEpochAdvance(benchmark::State& state) {
+  const PipelineSpec lv = MakeLiveVideo();
+  Rng rng(8);
+  StateBoard board = SampledBoard(&rng);
+  EstimatorOptions options;
+  LatencyEstimator est(&lv, &board, options, Rng(9));
+  for (auto _ : state) {
+    ModuleState s;
+    s.module_id = 0;
+    s.batch_duration = 10 * kUsPerMs;
+    board.Publish(std::move(s));  // Bumps the board version.
+    benchmark::DoNotOptimize(est.EstimateSubsequent(0));
+  }
+}
+BENCHMARK(BM_BrokerDecisionEpochAdvance);
+
 void BM_StateSyncPayload(benchmark::State& state) {
   // Serializes the compact module state the paper exchanges once per second
   // (queueing delay, batch size, throughput, drop rate, wait distribution
@@ -125,7 +242,49 @@ void BM_StateSyncPayload(benchmark::State& state) {
 }
 BENCHMARK(BM_StateSyncPayload);
 
+// --- End to end ------------------------------------------------------------
+
+// A complete compressed experiment (trace generation, serving, analysis):
+// the wall-clock number all kernel/estimator/queue speedups roll into.
+void BM_EndToEndRun(benchmark::State& state) {
+  ExperimentConfig config;
+  config.app = "lv";
+  config.trace = "tweet";
+  config.policy = "pard";
+  config.duration_s = 2.0;
+  config.base_rate = 60.0;
+  config.seed = 7;
+  config.provision_factor = 1.25;
+  config.runtime.enable_scaling = true;
+  config.runtime.scaling_epoch = 5 * kUsPerSec;
+  std::size_t requests = 0;
+  for (auto _ : state) {
+    const ExperimentResult result = RunExperiment(config);
+    requests = result.analysis->Total();
+    benchmark::DoNotOptimize(result.analysis->DropRate());
+  }
+  state.counters["requests"] = benchmark::Counter(static_cast<double>(requests));
+}
+BENCHMARK(BM_EndToEndRun)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace pard
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus one alias: --json expands to --benchmark_format=json so
+// tooling (CI bench-smoke, tools/bench_compare.py) has a stable spelling.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char json_flag[] = "--benchmark_format=json";
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    args.push_back(std::strcmp(argv[i], "--json") == 0 ? json_flag : argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@ std::unique_ptr<PardPolicy> MakePard(const PolicyParams& params,
                                      const std::function<void(PardOptions&)>& tweak) {
   PardOptions options;
   options.estimator.lambda = params.lambda;
+  options.estimator.mc_samples = params.mc_samples;
   options.seed = params.seed;
   tweak(options);
   return std::make_unique<PardPolicy>(options);

@@ -11,12 +11,15 @@
 #include <string>
 #include <vector>
 
+#include "core/latency_estimator.h"
 #include "runtime/drop_policy.h"
 
 namespace pard {
 
 struct PolicyParams {
   double lambda = 0.1;                       // Batch-wait quantile.
+  int mc_samples = kDefaultMcSamples;        // Estimator Monte-Carlo draws
+                                             // (see EstimatorOptions).
   Duration oc_threshold = 20 * kUsPerMs;     // PARD-oc queue threshold T.
   double oc_alpha = 0.4;                     // PARD-oc shed fraction.
   std::uint64_t seed = 1234;

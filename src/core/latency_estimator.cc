@@ -41,6 +41,30 @@ Duration LatencyEstimator::AggregateWaitQuantile(const std::vector<int>& path, d
   if (path.empty()) {
     return 0;
   }
+  // Warm-epoch memo: between state syncs the inputs cannot change, so the
+  // Monte-Carlo runs at most once per (path, lambda) per epoch.
+  for (QuantileMemo& memo : quantile_memo_) {
+    if (memo.lambda == lambda && memo.path == path) {
+      if (memo.board_version != board_->Version()) {
+        memo.value = ComputeWaitQuantile(path, lambda);
+        memo.board_version = board_->Version();
+      }
+      return memo.value;
+    }
+  }
+  QuantileMemo memo;
+  memo.path = path;
+  memo.lambda = lambda;
+  memo.board_version = board_->Version();
+  memo.value = ComputeWaitQuantile(path, lambda);
+  quantile_memo_.push_back(std::move(memo));
+  return quantile_memo_.back().value;
+}
+
+Duration LatencyEstimator::ComputeWaitQuantile(const std::vector<int>& path, double lambda) {
+  if (path.empty()) {
+    return 0;
+  }
   switch (options_.wait_mode) {
     case EstimatorOptions::WaitMode::kLower:
       return 0;
@@ -71,7 +95,7 @@ Duration LatencyEstimator::EstimatePath(const std::vector<int>& path) {
     }
   }
   if (options_.include_wait) {
-    estimate += AggregateWaitQuantile(path, options_.lambda);
+    estimate += ComputeWaitQuantile(path, options_.lambda);
   }
   return estimate;
 }

@@ -60,7 +60,7 @@ void PipelineRuntime::ScheduleArrival(SimTime t) {
 }
 
 void PipelineRuntime::Inject() {
-  auto req = std::make_shared<Request>();
+  RequestPtr req = std::allocate_shared<Request>(ArenaAllocator<Request>(arena_));
   req->id = next_request_id_++;
   req->sent = sim_.Now();
   req->slo = spec_.slo();

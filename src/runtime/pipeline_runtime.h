@@ -16,6 +16,7 @@
 #include "runtime/drop_policy.h"
 #include "runtime/module_runtime.h"
 #include "runtime/request.h"
+#include "runtime/request_arena.h"
 #include "runtime/runtime_options.h"
 #include "runtime/state_board.h"
 #include "sim/simulation.h"
@@ -75,6 +76,10 @@ class PipelineRuntime {
   Simulation sim_;
   StateBoard board_;
   Rng rng_;
+  // Requests live until the analysis is done with them; the arena keeps them
+  // (and their control blocks) in bump-allocated slabs, and allocator copies
+  // inside the control blocks keep the arena alive past this runtime.
+  std::shared_ptr<RequestArena> arena_ = std::make_shared<RequestArena>();
   std::vector<int> batch_sizes_;
   std::vector<std::unique_ptr<ModuleRuntime>> modules_;
   std::vector<RequestPtr> requests_;

@@ -1,0 +1,86 @@
+// Block arena for Request allocation.
+//
+// Every injected request lives until the end of the run (the runtime's
+// request log and the post-run analysis both hold it), so per-request
+// make_shared traffic is pure overhead: one malloc per arrival on the
+// ingress hot path. The arena hands out bump-pointer storage in 64 KiB
+// blocks instead, and ArenaAllocator plugs it into std::allocate_shared so
+// the Request and its shared_ptr control block land in one contiguous slab.
+//
+// Lifetime: each allocator copy keeps a shared_ptr to the arena, and
+// allocate_shared stores an allocator copy inside the control block — the
+// arena therefore outlives the last surviving RequestPtr automatically, even
+// when the analysis outlives the runtime that injected the requests.
+// Deallocation is a no-op (memory returns when the arena dies), which
+// matches the requests' run-long lifetime. Not thread-safe: one arena per
+// (single-threaded) runtime; sharded runs use one arena per shard.
+#ifndef PARD_RUNTIME_REQUEST_ARENA_H_
+#define PARD_RUNTIME_REQUEST_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pard {
+
+class RequestArena {
+ public:
+  void* Allocate(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (bytes > kBlockBytes) {
+      // Oversized one-off: give it a dedicated block, keep the current one.
+      blocks_.push_back(std::make_unique<unsigned char[]>(bytes));
+      return blocks_.back().get();
+    }
+    if (offset_ + bytes > kBlockBytes || blocks_.empty()) {
+      blocks_.push_back(std::make_unique<unsigned char[]>(kBlockBytes));
+      current_ = blocks_.back().get();
+      offset_ = 0;
+    }
+    void* out = current_ + offset_;
+    offset_ += bytes;
+    return out;
+  }
+
+  std::size_t BlockCount() const { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+  unsigned char* current_ = nullptr;
+  std::size_t offset_ = kBlockBytes;
+};
+
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<RequestArena> arena) : arena_(std::move(arena)) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return static_cast<T*>(arena_->Allocate(n * sizeof(T))); }
+  void deallocate(T*, std::size_t) {}  // Freed wholesale with the arena.
+
+  const std::shared_ptr<RequestArena>& arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::shared_ptr<RequestArena> arena_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_REQUEST_ARENA_H_

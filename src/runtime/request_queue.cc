@@ -6,47 +6,83 @@ namespace pard {
 
 void RequestQueue::Push(RequestPtr req) {
   const std::uint64_t seq = next_seq_++;
-  Entry entry{req->deadline, seq, std::move(req)};
-  live_.insert(seq);
-  fifo_.push_back(entry);
-  heap_.Push(std::move(entry));
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  const SimTime deadline = req->deadline;
+  slot.seq = seq;
+  slot.live = true;
+  slot.req = std::move(req);
+  heap_.Push(HeapRef{deadline, seq, index});
+  fifo_.push_back(FifoRef{seq, index});
+  ++live_;
+}
+
+RequestPtr RequestQueue::Retire(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  RequestPtr out = std::move(slot.req);
+  slot.req = nullptr;
+  slot.live = false;
+  free_.push_back(index);
+  --live_;
+  MaybeCompact();
+  return out;
 }
 
 SimTime RequestQueue::MinDeadline() {
-  while (!heap_.Empty() && live_.count(heap_.Min().seq) == 0) {
+  while (!heap_.Empty() && Stale(heap_.Min().seq, heap_.Min().index)) {
     heap_.PopMin();  // Lazily discard entries consumed through the FIFO view.
   }
   return heap_.Empty() ? kSimTimeMax : heap_.Min().deadline;
 }
 
 RequestPtr RequestQueue::Pop(PopSide side) {
-  while (!live_.empty()) {
-    Entry entry;
+  while (live_ > 0) {
     if (side == PopSide::kOldest) {
       if (fifo_.empty()) {
         break;
       }
-      entry = std::move(fifo_.front());
+      const FifoRef ref = fifo_.front();
       fifo_.pop_front();
-    } else if (side == PopSide::kMinBudget) {
-      if (heap_.Empty()) {
-        break;
+      if (Stale(ref.seq, ref.index)) {
+        continue;  // Already consumed through the heap view.
       }
-      entry = heap_.PopMin();
-    } else {
-      if (heap_.Empty()) {
-        break;
-      }
-      entry = heap_.PopMax();
+      return Retire(ref.index);
     }
-    const auto it = live_.find(entry.seq);
-    if (it == live_.end()) {
-      continue;  // Already consumed through the other view.
+    if (heap_.Empty()) {
+      break;
     }
-    live_.erase(it);
-    return std::move(entry.req);
+    const HeapRef ref = side == PopSide::kMinBudget ? heap_.PopMin() : heap_.PopMax();
+    if (Stale(ref.seq, ref.index)) {
+      continue;  // Already consumed through the FIFO view.
+    }
+    return Retire(ref.index);
   }
   return nullptr;
+}
+
+void RequestQueue::MaybeCompact() {
+  // Under single-view consumption (a long HBF/LBF phase, or pure FIFO) the
+  // untouched view accumulates stale references indefinitely; rebuild a view
+  // once its dead entries outnumber its live ones so footprint stays O(live).
+  if (fifo_.size() > 64 && fifo_.size() > 2 * live_) {
+    std::deque<FifoRef> kept;
+    for (const FifoRef& ref : fifo_) {
+      if (!Stale(ref.seq, ref.index)) {
+        kept.push_back(ref);
+      }
+    }
+    fifo_.swap(kept);
+  }
+  if (heap_.Size() > 64 && heap_.Size() > 2 * live_) {
+    heap_.EraseIf([this](const HeapRef& ref) { return Stale(ref.seq, ref.index); });
+  }
 }
 
 }  // namespace pard

@@ -3,14 +3,19 @@
 // The Request Broker pops requests by remaining latency budget — smallest
 // (LBF) or largest (HBF) — while reactive baselines pop in arrival order.
 // All three orders are exposed by maintaining a min-max heap keyed by
-// deadline alongside an arrival deque, with lazy invalidation: an entry
-// popped through one view is skipped when encountered through the other.
+// deadline alongside an arrival deque. Entries live in a slab indexed by
+// both views; consuming through one view retires the slab slot in O(1) (no
+// hash lookups) and the other view skips the stale reference when it reaches
+// it. Stale references are additionally compacted away whenever dead entries
+// outnumber live ones, so a queue driven through a single view (e.g. a long
+// HBF/LBF phase never touching the FIFO) stays bounded by its live size
+// instead of by its history.
 #ifndef PARD_RUNTIME_REQUEST_QUEUE_H_
 #define PARD_RUNTIME_REQUEST_QUEUE_H_
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <vector>
 
 #include "runtime/request.h"
 #include "stats/minmax_heap.h"
@@ -39,27 +44,55 @@ class RequestQueue {
   // policy (deadline passed while queued).
   SimTime MinDeadline();
 
-  std::size_t Size() const { return live_.size(); }
-  bool Empty() const { return live_.empty(); }
+  std::size_t Size() const { return live_; }
+  bool Empty() const { return live_ == 0; }
+
+  // Internal-view footprints (live + stale references), exposed so the
+  // bounded-memory regression test can assert compaction keeps them O(live).
+  std::size_t HeapFootprint() const { return heap_.Size(); }
+  std::size_t FifoFootprint() const { return fifo_.size(); }
+  std::size_t SlabFootprint() const { return slots_.size(); }
 
  private:
-  struct Entry {
-    SimTime deadline;
-    std::uint64_t seq;
+  // Slab slot: `seq` is the entry's unique arrival sequence number; a view
+  // reference is live iff its seq still matches the slot's (slots are reused
+  // with fresh seqs, so stale references can never alias a new entry). The
+  // deadline lives in the HeapRef, not here.
+  struct Slot {
+    std::uint64_t seq = 0;
+    bool live = false;
     RequestPtr req;
   };
-  struct EntryLess {
-    bool operator()(const Entry& a, const Entry& b) const {
+  struct HeapRef {
+    SimTime deadline;
+    std::uint64_t seq;
+    std::uint32_t index;
+  };
+  struct FifoRef {
+    std::uint64_t seq;
+    std::uint32_t index;
+  };
+  struct HeapRefLess {
+    bool operator()(const HeapRef& a, const HeapRef& b) const {
       // Deadline is the remaining-budget priority (now is common to all
       // queued requests); seq breaks ties deterministically.
       return a.deadline != b.deadline ? a.deadline < b.deadline : a.seq < b.seq;
     }
   };
 
+  bool Stale(std::uint64_t seq, std::uint32_t index) const {
+    const Slot& slot = slots_[index];
+    return !slot.live || slot.seq != seq;
+  }
+  RequestPtr Retire(std::uint32_t index);
+  void MaybeCompact();
+
   std::uint64_t next_seq_ = 1;
-  MinMaxHeap<Entry, EntryLess> heap_;
-  std::deque<Entry> fifo_;
-  std::unordered_set<std::uint64_t> live_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  MinMaxHeap<HeapRef, HeapRefLess> heap_;
+  std::deque<FifoRef> fifo_;
 };
 
 }  // namespace pard

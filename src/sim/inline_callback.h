@@ -1,0 +1,109 @@
+// Small-buffer-optimized, move-only callback for the event kernel.
+//
+// std::function heap-allocates any capture beyond ~2 pointers, which makes
+// every scheduled event a malloc/free pair. The runtime's event lambdas
+// capture at most a shared_ptr + a couple of scalars (32 bytes), so a fixed
+// 48-byte inline buffer holds every in-tree callable with zero allocations;
+// larger callables transparently fall back to the heap (correct, just not
+// allocation-free — the counting-allocator test pins the in-tree set).
+#ifndef PARD_SIM_INLINE_CALLBACK_H_
+#define PARD_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pard {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      D* s = static_cast<D*>(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void Destroy(void* p) { static_cast<D*>(p)->~D(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static void Invoke(void* p) { (**static_cast<D**>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      *static_cast<D**>(dst) = *static_cast<D**>(src);
+    }
+    static void Destroy(void* p) { delete *static_cast<D**>(p); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineCallback&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SIM_INLINE_CALLBACK_H_

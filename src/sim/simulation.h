@@ -2,27 +2,50 @@
 //
 // A single-threaded event loop over virtual time. Events scheduled for the
 // same instant fire in scheduling order (monotone sequence number tie-break),
-// which makes runs fully deterministic. Cancellation is lazy: a cancelled
-// event stays in the heap but is skipped when popped.
+// which makes runs fully deterministic.
+//
+// Storage is a slab of event slots addressed by index: scheduling takes a
+// slot from the free list (no hashing, no per-event node allocation), and
+// callbacks live inline in the slot (InlineCallback), so steady-state
+// scheduling performs zero heap allocations once the slab reaches its
+// high-water mark.
+//
+// The pending set is a hierarchical timer wheel over the 64-bit microsecond
+// timeline: level l buckets events by byte l of their firing time, relative
+// to the current time's prefix. Scheduling is O(1) (xor + clz picks the
+// level, FIFO append into the bucket), cancellation is an O(1) true removal
+// from the bucket's doubly-linked list (no tombstones, no lazy sweeps), and
+// popping the next event is a bitmap scan plus amortized O(1) cascades of
+// buckets into finer levels as time reaches them. Bottom-level buckets hold
+// events of a single microsecond tick in append order, which IS sequence
+// order, so the wheel reproduces the exact (time, sequence) total order of a
+// comparison-based queue at a fraction of the per-event cost — and without
+// the O(log n) depth penalty once millions of trace arrivals are pending.
+//
+// Determinism note: every bucket only ever holds events that share their
+// firing time's bytes above the bucket's level with the CURRENT time. This
+// holds at insert by construction, and stays true as time advances because
+// the clock can only pass an event by firing it (Run horizons stop short of
+// the next event). Cascades walk buckets in list order, so equal-time events
+// keep their sequence order through every descent.
 #ifndef PARD_SIM_SIMULATION_H_
 #define PARD_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time_types.h"
+#include "sim/inline_callback.h"
 
 namespace pard {
 
+// Packs (sequence number << 24 | slot index); unique per scheduled event,
+// never reused.
 using EventId = std::uint64_t;
 
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -38,8 +61,8 @@ class Simulation {
   // Schedules `cb` after `delay` (must be >= 0).
   EventId ScheduleAfter(Duration delay, Callback cb);
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a
-  // no-op and returns false.
+  // Cancels a pending event in O(1). Cancelling an already-fired, already-
+  // cancelled or unknown id is a no-op and returns false.
   bool Cancel(EventId id);
 
   // Runs events until the queue is empty or virtual time would exceed
@@ -50,27 +73,69 @@ class Simulation {
   bool Step();
 
   // Pending (non-cancelled) event count.
-  std::size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+  std::size_t PendingEvents() const { return live_; }
 
   // Total events executed so far (diagnostics / perf counters).
   std::uint64_t ExecutedEvents() const { return executed_; }
 
  private:
-  struct Entry {
-    SimTime t;
-    EventId id;
-    bool operator>(const Entry& other) const {
-      return t != other.t ? t > other.t : id > other.id;
-    }
+  static constexpr int kLevels = 8;          // One per byte of SimTime.
+  static constexpr int kLevelBits = 8;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kLevelBits;
+  static constexpr int kIndexBits = 24;
+  static constexpr std::uint64_t kIndexMask = (1ULL << kIndexBits) - 1;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  // One slab slot. `key` identifies the current occupant; EventIds snapshot
+  // it, so a stale id can never touch a reused slot.
+  struct Slot {
+    std::uint64_t key = 0;
+    SimTime t = 0;
+    std::uint32_t prev = kNil;   // Bucket list links (slab indices).
+    std::uint32_t next = kNil;
+    std::uint32_t bucket = 0;    // level * kSlotsPerLevel + slot.
+    bool live = false;
+    Callback cb;
   };
 
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  static int LevelOf(SimTime t, SimTime reference);
+
+  void LinkInto(std::uint32_t index);        // Places slots_[index] by its t.
+  void Unlink(std::uint32_t index);          // Removes from its bucket.
+  void FreeSlot(std::uint32_t index);
+  void Cascade(int level, std::uint32_t slot);
+
+  // Advances the clock toward the next pending event without passing
+  // `bound`. Returns the bottom-level slot of the next event's tick, or
+  // kNil if there is none with t <= bound (the clock is left <= bound).
+  std::uint32_t AdvanceToNext(SimTime bound);
+
+  // Fires the head event of the given bottom-level tick bucket.
+  void Fire(std::uint32_t tick_slot);
+
+  void SetBit(int level, std::uint32_t slot) {
+    bits_[level][slot >> 6] |= 1ULL << (slot & 63);
+  }
+  void ClearBit(int level, std::uint32_t slot) {
+    bits_[level][slot >> 6] &= ~(1ULL << (slot & 63));
+  }
+  // Lowest set slot of a level, or kNil.
+  std::uint32_t LowestBit(int level) const;
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // Callbacks are stored separately so the heap stays POD-light.
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;  // Scheduled and not yet fired/cancelled.
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // Indices of dead, reusable slots.
+  Bucket buckets_[kLevels][kSlotsPerLevel];
+  std::uint64_t bits_[kLevels][kSlotsPerLevel / 64] = {};
 };
 
 }  // namespace pard

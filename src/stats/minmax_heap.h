@@ -34,6 +34,23 @@ class MinMaxHeap {
     BubbleUp(data_.size() - 1);
   }
 
+  // Removes every element matching `pred` and restores the heap invariant.
+  // O(n log n); used for periodic compaction of lazily-invalidated entries.
+  template <typename Pred>
+  void EraseIf(Pred pred) {
+    std::vector<T> kept;
+    kept.reserve(data_.size());
+    for (T& v : data_) {
+      if (!pred(v)) {
+        kept.push_back(std::move(v));
+      }
+    }
+    data_.clear();
+    for (T& v : kept) {
+      Push(std::move(v));
+    }
+  }
+
   // Smallest element. Requires non-empty.
   const T& Min() const {
     PARD_CHECK(!data_.empty());

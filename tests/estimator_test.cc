@@ -198,6 +198,49 @@ TEST(LatencyEstimator, DagTakesMaxOverPaths) {
   EXPECT_EQ(est.EstimateSubsequent(0), 60 * kUsPerMs);
 }
 
+TEST(LatencyEstimator, WaitQuantileMemoizedWithinEpoch) {
+  // Warm-epoch contract (ISSUE 3): repeat AggregateWaitQuantile calls between
+  // board publishes must be cache reads — same value, and no Monte-Carlo RNG
+  // draws. The second estimator runs the same sequence minus the repeat
+  // calls; if the repeats drew from the RNG, the later distributions would
+  // diverge.
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = UniformBoard(5, 10 * kUsPerMs);
+  LatencyEstimator with_repeats(&lv, &board, HighResOptions(), Rng(21));
+  LatencyEstimator without_repeats(&lv, &board, HighResOptions(), Rng(21));
+
+  const Duration first = with_repeats.AggregateWaitQuantile({1, 2, 3, 4}, 0.1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(with_repeats.AggregateWaitQuantile({1, 2, 3, 4}, 0.1), first);
+  }
+  EXPECT_EQ(without_repeats.AggregateWaitQuantile({1, 2, 3, 4}, 0.1), first);
+
+  // Both estimators' RNGs must now be in the same state.
+  const EmpiricalDistribution a = with_repeats.AggregateWaitDistribution({2, 3, 4});
+  const EmpiricalDistribution b = without_repeats.AggregateWaitDistribution({2, 3, 4});
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q)) << q;
+  }
+  EXPECT_EQ(a.Mean(), b.Mean());
+}
+
+TEST(LatencyEstimator, WaitQuantileRecomputesOnEpochAdvance) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = UniformBoard(5, 10 * kUsPerMs);
+  EstimatorOptions options = HighResOptions();
+  LatencyEstimator est(&lv, &board, options, Rng(22));
+  const Duration before = est.AggregateWaitQuantile({4}, 0.5);
+  // Pin module 4's waits to exactly 2 ms and publish: the memo must refresh.
+  ModuleState s;
+  s.module_id = 4;
+  s.batch_duration = 10 * kUsPerMs;
+  s.wait_samples.assign(100, 2000.0);
+  board.Publish(std::move(s));
+  const Duration after = est.AggregateWaitQuantile({4}, 0.5);
+  EXPECT_EQ(after, 2000);
+  EXPECT_NE(after, before);
+}
+
 TEST(LatencyEstimator, CacheInvalidatesOnPublish) {
   const PipelineSpec lv = MakeLiveVideo();
   StateBoard board = UniformBoard(5, 10 * kUsPerMs);

@@ -1,0 +1,148 @@
+// Kernel-equivalence goldens (ISSUE 3): the slab/timer-wheel event kernel,
+// the epoch-cached estimator, the compacting RequestQueue and the request
+// arena are pure performance work — every run must stay bit-identical to the
+// pre-refactor kernel. The expected values below were harvested from the
+// pre-refactor build (PR 2 tree, commit 0a4ce21) on the fig08/fig14a smoke
+// configurations plus DAG-dynamic and sharded variants; doubles are compared
+// exactly (printed and re-parsed at %.17g, which round-trips).
+//
+// If an intentional behavior change ever invalidates these numbers, re-run
+// the configs below and update the table in the same commit, explaining why
+// bit-identity was allowed to break.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "pipeline/apps.h"
+#include "runtime/batch_planner.h"
+#include "trace/rate_function.h"
+
+namespace pard {
+namespace {
+
+struct Golden {
+  const char* name;
+  std::size_t total;
+  std::size_t good;
+  std::size_t dropped;
+  double drop_rate;
+  double invalid_rate;
+  double mean_goodput;
+  double normalized_goodput;
+};
+
+constexpr Golden kGoldens[] = {
+    {"fig08-smoke-pard", 38u, 38u, 0u, 0, 0, 25.729150585947551, 1},
+    {"fig08-smoke-nexus", 38u, 38u, 0u, 0, 0, 25.729150585947551, 1},
+    {"fig14a-smoke-pard", 1485u, 1328u, 157u, 0.10572390572390572, 0, 567.00960500607994,
+     0.89427609427609422},
+    {"fig14a-smoke-clipper", 1485u, 1071u, 414u, 0.27878787878787881, 0.049918674253622577,
+     458.48387814859842, 0.72121212121212119},
+    {"fig14a-smoke-pard-jitter", 1485u, 1329u, 156u, 0.10505050505050505, 0, 572.42291242230942,
+     0.89494949494949494},
+    {"dag-dynamic-pard-path", 81u, 81u, 0u, 0, 0, 54.527609146097639, 1},
+    {"sharded-lv-pard", 2524u, 2524u, 0u, 0, 0, 83.872356110061276, 1},
+};
+
+void ExpectGolden(const Golden& golden, const ExperimentResult& result) {
+  const RunAnalysis& a = *result.analysis;
+  EXPECT_EQ(a.Total(), golden.total) << golden.name;
+  EXPECT_EQ(a.GoodCount(), golden.good) << golden.name;
+  EXPECT_EQ(a.DroppedCount(), golden.dropped) << golden.name;
+  // Exact comparisons on purpose: "close" would hide nondeterminism.
+  EXPECT_EQ(a.DropRate(), golden.drop_rate) << golden.name;
+  EXPECT_EQ(a.InvalidRate(), golden.invalid_rate) << golden.name;
+  EXPECT_EQ(a.MeanGoodput(), golden.mean_goodput) << golden.name;
+  EXPECT_EQ(a.NormalizedGoodput(), golden.normalized_goodput) << golden.name;
+}
+
+const Golden& Find(const std::string& name) {
+  for (const Golden& g : kGoldens) {
+    if (name == g.name) {
+      return g;
+    }
+  }
+  ADD_FAILURE() << "no golden named " << name;
+  return kGoldens[0];
+}
+
+// The fig08 smoke configuration (StdConfig shape at CI-smoke scale).
+ExperimentConfig Fig08Smoke(const std::string& policy) {
+  ExperimentConfig c;
+  c.app = "lv";
+  c.trace = "tweet";
+  c.policy = policy;
+  c.duration_s = 1.5;
+  c.base_rate = 40.0;
+  c.seed = 7;
+  c.provision_factor = 1.25;
+  c.runtime.enable_scaling = true;
+  c.runtime.scaling_epoch = 5 * kUsPerSec;
+  return c;
+}
+
+// The fig14a stress shape: fixed instances, constant offered rate past
+// capacity — the regime where the estimator actually drops requests.
+ExperimentConfig Fig14aSmoke(const std::string& policy) {
+  const PipelineSpec spec = MakeLiveVideo();
+  const std::vector<int> batches = PlanBatchSizes(spec);
+  ExperimentConfig c;
+  c.custom_spec = spec;
+  c.custom_trace = RateFunction::Constant(750.0);
+  c.trace = "constant";
+  c.policy = policy;
+  c.duration_s = 2.0;
+  c.seed = 17;
+  c.runtime.fixed_workers = PlanWorkers(spec, batches, 600.0, 1.0, 32, 64);
+  return c;
+}
+
+TEST(GoldenDeterminism, Fig08SmokePard) {
+  ExpectGolden(Find("fig08-smoke-pard"), RunExperiment(Fig08Smoke("pard")));
+}
+
+TEST(GoldenDeterminism, Fig08SmokeNexus) {
+  ExpectGolden(Find("fig08-smoke-nexus"), RunExperiment(Fig08Smoke("nexus")));
+}
+
+TEST(GoldenDeterminism, Fig14aSmokePard) {
+  ExpectGolden(Find("fig14a-smoke-pard"), RunExperiment(Fig14aSmoke("pard")));
+}
+
+TEST(GoldenDeterminism, Fig14aSmokeClipper) {
+  ExpectGolden(Find("fig14a-smoke-clipper"), RunExperiment(Fig14aSmoke("clipper++")));
+}
+
+TEST(GoldenDeterminism, Fig14aSmokePardWithExecJitter) {
+  ExperimentConfig c = Fig14aSmoke("pard");
+  c.runtime.exec_jitter = 0.05;
+  ExpectGolden(Find("fig14a-smoke-pard-jitter"), RunExperiment(c));
+}
+
+TEST(GoldenDeterminism, DagDynamicPathPrediction) {
+  ExperimentConfig c;
+  c.app = "da";
+  c.trace = "wiki";
+  c.policy = "pard-path";
+  c.duration_s = 1.5;
+  c.base_rate = 40.0;
+  c.seed = 7;
+  c.runtime.dynamic_paths = true;
+  ExpectGolden(Find("dag-dynamic-pard-path"), RunExperiment(c));
+}
+
+TEST(GoldenDeterminism, ShardedRunMatchesPreRefactorKernel) {
+  ExperimentConfig c;
+  c.app = "lv";
+  c.trace = "tweet";
+  c.policy = "pard";
+  c.duration_s = 30.0;
+  c.base_rate = 50.0;
+  c.seed = 7;
+  ExpectGolden(Find("sharded-lv-pard"), RunShardedExperiment(c, 4, 2));
+}
+
+}  // namespace
+}  // namespace pard

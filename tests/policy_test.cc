@@ -296,5 +296,17 @@ TEST(PolicyFactory, LambdaParameterReachesEstimator) {
   EXPECT_DOUBLE_EQ(pard->estimator()->options().lambda, 0.42);
 }
 
+TEST(PolicyFactory, McSamplesParameterReachesEstimator) {
+  PolicyParams params;
+  params.mc_samples = 64;
+  const auto policy = MakePolicy("pard-upper", params);
+  auto* pard = dynamic_cast<PardPolicy*>(policy.get());
+  ASSERT_NE(pard, nullptr);
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board = QuietBoard(lv);
+  pard->Bind(&lv, &board);
+  EXPECT_EQ(pard->estimator()->options().mc_samples, 64);
+}
+
 }  // namespace
 }  // namespace pard

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -97,6 +99,57 @@ TEST(RequestQueue, SizeTracksLiveCount) {
   EXPECT_EQ(q.Size(), 1u);
   q.Pop(PopSide::kOldest);
   EXPECT_EQ(q.Size(), 0u);
+}
+
+// Regression (ISSUE 3): entries consumed through one view used to linger in
+// the other forever under lazy invalidation. A long run that only ever pops
+// through the heap (alternating HBF/LBF, the adaptive-priority pattern) must
+// keep the FIFO view — and the slab — bounded by the live size, not by
+// history.
+TEST(RequestQueue, HeapOnlyConsumptionKeepsFifoBounded) {
+  RequestQueue q;
+  constexpr std::size_t kDepth = 128;
+  std::uint64_t next_id = 1;
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    q.Push(MakeReq(next_id, static_cast<SimTime>(next_id % 997)));
+    ++next_id;
+  }
+  std::size_t max_fifo = 0;
+  std::size_t max_slab = 0;
+  for (int step = 0; step < 200000; ++step) {
+    q.Push(MakeReq(next_id, static_cast<SimTime>(next_id % 997)));
+    ++next_id;
+    const RequestPtr got =
+        q.Pop(step % 2 == 0 ? PopSide::kMinBudget : PopSide::kMaxBudget);
+    ASSERT_NE(got, nullptr);
+    max_fifo = std::max(max_fifo, q.FifoFootprint());
+    max_slab = std::max(max_slab, q.SlabFootprint());
+  }
+  EXPECT_EQ(q.Size(), kDepth);
+  // Compaction triggers at 2x live + slack; anything near history size
+  // (200k) means unbounded growth came back.
+  EXPECT_LE(max_fifo, 2 * kDepth + 128);
+  EXPECT_LE(max_slab, 2 * kDepth + 128);
+}
+
+// The mirror image: FIFO-only consumption must keep the heap view bounded.
+TEST(RequestQueue, FifoOnlyConsumptionKeepsHeapBounded) {
+  RequestQueue q;
+  constexpr std::size_t kDepth = 128;
+  std::uint64_t next_id = 1;
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    q.Push(MakeReq(next_id, static_cast<SimTime>(next_id % 997)));
+    ++next_id;
+  }
+  std::size_t max_heap = 0;
+  for (int step = 0; step < 200000; ++step) {
+    q.Push(MakeReq(next_id, static_cast<SimTime>(next_id % 997)));
+    ++next_id;
+    ASSERT_NE(q.Pop(PopSide::kOldest), nullptr);
+    max_heap = std::max(max_heap, q.HeapFootprint());
+  }
+  EXPECT_EQ(q.Size(), kDepth);
+  EXPECT_LE(max_heap, 2 * kDepth + 128);
 }
 
 // Property: under random interleaved operation the queue agrees with a

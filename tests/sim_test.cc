@@ -73,6 +73,101 @@ TEST(Simulation, CancelFiredEventReturnsFalse) {
   EXPECT_FALSE(sim.Cancel(id));
 }
 
+TEST(Simulation, DoubleCancelReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+}
+
+TEST(Simulation, CancelAtCurrentTime) {
+  // An event scheduled for Now() (fires later this instant) can still be
+  // cancelled before the kernel reaches it.
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleAt(10, [&] {
+    const EventId id = sim.ScheduleAt(sim.Now(), [&] { fired = true; });
+    EXPECT_TRUE(sim.Cancel(id));
+  });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(Simulation, CancelledIdStaysDeadAfterSlotReuse) {
+  // Cancelling frees the slot for reuse; the old id must not be able to
+  // cancel (or otherwise touch) the slot's next occupant.
+  Simulation sim;
+  const EventId stale = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(stale));
+  bool fired = false;
+  sim.ScheduleAt(10, [&] { fired = true; });  // Likely reuses the slot.
+  EXPECT_FALSE(sim.Cancel(stale));
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelMiddleOfSameTickPreservesOrder) {
+  // Three events at one instant; cancelling the middle one must keep the
+  // others in schedule order.
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(50, [&] { order.push_back(1); });
+  const EventId middle = sim.ScheduleAt(50, [&] { order.push_back(2); });
+  sim.ScheduleAt(50, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.Cancel(middle));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulation, SelfCancelInsideCallbackReturnsFalse) {
+  // By firing time the event is already retired; cancelling its own id from
+  // inside the callback is a no-op.
+  Simulation sim;
+  EventId self = 0;
+  bool result = true;
+  self = sim.ScheduleAt(5, [&] { result = sim.Cancel(self); });
+  sim.Run();
+  EXPECT_FALSE(result);
+}
+
+TEST(Simulation, FarApartEventTimesFireInOrder) {
+  // Spread events across very different timescales (all wheel levels).
+  Simulation sim;
+  std::vector<SimTime> fired;
+  const std::vector<SimTime> times = {1,
+                                      255,
+                                      256,
+                                      65536,
+                                      1000000,
+                                      3600LL * 1000000,
+                                      400LL * 1000000 * 86400};
+  // Schedule in reverse to exercise out-of-order insertion.
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    const SimTime t = *it;
+    sim.ScheduleAt(t, [&fired, t] { fired.push_back(t); });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, times);
+  EXPECT_EQ(sim.Now(), times.back());
+}
+
+TEST(Simulation, RunUntilThenScheduleBeforePendingEvent) {
+  // Stop the clock inside an empty stretch, then schedule ahead of the
+  // still-pending far event; both must fire in time order.
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1000000, [&] { order.push_back(2); });
+  sim.Run(5000);
+  EXPECT_EQ(sim.Now(), 5000);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.ScheduleAt(7000, [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(Simulation, RunUntilStopsAndAdvancesClock) {
   Simulation sim;
   int fired = 0;

@@ -15,6 +15,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "core/latency_estimator.h"
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
 #include "metrics/report.h"
@@ -36,6 +37,10 @@ pard::FlagSet BuildFlags() {
   flags.AddDouble("base-rate", 200.0, "trace base rate, req/s");
   flags.AddDouble("slo-ms", 0.0, "override the app SLO (0 = app default)");
   flags.AddDouble("lambda", 0.1, "PARD batch-wait quantile");
+  flags.AddInt("mc-samples", pard::kDefaultMcSamples,
+               "estimator Monte-Carlo draws per epoch refresh (paper setup keeps "
+               "M = 10000 reservoir samples per module; the default converges the "
+               "lambda quantile at a fraction of the refresh cost)");
   flags.AddDouble("provision", 1.25, "capacity headroom over the mean rate");
   flags.AddDouble("window-s", 5.0, "state-planner sliding window length");
   flags.AddInt("seed", 7, "master random seed");
@@ -73,6 +78,13 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
   config.provision_factor = flags.GetDouble("provision");
   config.params.lambda = flags.GetDouble("lambda");
+  const std::int64_t mc_samples = flags.GetInt("mc-samples");
+  if (mc_samples < 1 || mc_samples > 1000000) {
+    std::fprintf(stderr, "--mc-samples must be in [1, 1000000] (got %lld)\n",
+                 static_cast<long long>(mc_samples));
+    return 2;
+  }
+  config.params.mc_samples = static_cast<int>(mc_samples);
   config.runtime.stats_window = pard::SecToUs(flags.GetDouble("window-s"));
   config.runtime.enable_scaling = flags.GetBool("scaling");
   config.runtime.dynamic_paths = flags.GetBool("dynamic-paths");
