@@ -12,8 +12,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
+
+extern char** environ;  // POSIX; used to reject typo'd PARD_BENCH_* overrides.
 
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
@@ -31,12 +34,44 @@ inline void Title(const std::string& name, const std::string& paper_ref) {
 inline void Section(const std::string& name) { std::printf("\n--- %s ---\n", name.c_str()); }
 
 // CI smoke runs override the standard workload size via the environment
-// (PARD_BENCH_DURATION_S / PARD_BENCH_BASE_RATE). Only benches built on
+// (PARD_BENCH_DURATION_S / PARD_BENCH_BASE_RATE; see README "Bench
+// environment overrides" for the full table). Only benches built on
 // StdConfig honor it — benches that hardcode their own workload shape
 // (e.g. ext_failure, fig06_batchwait) ignore these variables.
 // A malformed or non-positive value aborts rather than silently shrinking
-// the workload to nothing.
+// the workload to nothing, and an unrecognized PARD_BENCH_* name aborts
+// rather than being silently ignored (a typo'd override would otherwise
+// run the full paper-scale workload while claiming to be a smoke run).
+inline void CheckKnownBenchEnv() {
+  static const bool checked = [] {
+    static const char* const kKnown[] = {"PARD_BENCH_DURATION_S", "PARD_BENCH_BASE_RATE"};
+    for (char** env = environ; *env != nullptr; ++env) {
+      const char* entry = *env;
+      if (std::strncmp(entry, "PARD_BENCH_", 11) != 0) {
+        continue;
+      }
+      const char* eq = std::strchr(entry, '=');
+      const std::string name(entry, eq != nullptr ? static_cast<std::size_t>(eq - entry)
+                                                  : std::strlen(entry));
+      bool known = false;
+      for (const char* k : kKnown) {
+        known = known || name == k;
+      }
+      if (!known) {
+        std::fprintf(stderr,
+                     "unknown environment override %s (supported: PARD_BENCH_DURATION_S, "
+                     "PARD_BENCH_BASE_RATE; worker threads use PARD_JOBS)\n",
+                     name.c_str());
+        std::exit(2);
+      }
+    }
+    return true;
+  }();
+  (void)checked;
+}
+
 inline double EnvOr(const char* name, double fallback) {
+  CheckKnownBenchEnv();
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') {
     return fallback;

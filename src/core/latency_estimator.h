@@ -20,6 +20,14 @@
 // (module/path, StateBoard version) and recomputed only when a state sync
 // publishes a new epoch, matching the paper's asynchronous-update cost model
 // (§5.4) — between syncs a broker decision is a cache read.
+//
+// Concurrency contract: NOT internally synchronized — every Estimate* call
+// may mutate the epoch cache and advances the Monte-Carlo RNG, and a board
+// publish invalidates entries mid-flight. Concurrent callers (the serving
+// runtime's module workers) must serialize estimator access and board
+// publishes behind one lock; ControlPlane (src/serve/control_plane.h) is
+// that lock, and the epoch cache is exactly why holding it is cheap: between
+// syncs a decision under the lock is a nanosecond cache read.
 #ifndef PARD_CORE_LATENCY_ESTIMATOR_H_
 #define PARD_CORE_LATENCY_ESTIMATOR_H_
 

@@ -89,6 +89,44 @@ void ParallelFor(ThreadPool& pool, std::size_t n, const std::function<void(std::
   pool.Wait();
 }
 
+WorkerGroup::~WorkerGroup() noexcept {
+  // Destruction must not throw; a captured worker exception that was never
+  // collected via Join() is dropped here (Join() is the reporting path).
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void WorkerGroup::Spawn(std::function<void()> body) {
+  threads_.emplace_back([this, body = std::move(body)] {
+    try {
+      body();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+  });
+}
+
+void WorkerGroup::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
 void ParallelFor(int jobs, std::size_t n, const std::function<void(std::size_t)>& fn) {
   const int resolved = ThreadPool::ResolveJobs(jobs);
   if (resolved == 1 || n <= 1) {

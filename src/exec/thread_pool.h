@@ -70,6 +70,38 @@ void ParallelFor(ThreadPool& pool, std::size_t n, const std::function<void(std::
 // (ResolveJobs semantics). jobs == 1 runs inline on the caller's thread.
 void ParallelFor(int jobs, std::size_t n, const std::function<void(std::size_t)>& fn);
 
+// A group of long-running threads, as opposed to ThreadPool's queue of
+// short tasks. The serving runtime (src/serve/) uses one group per module:
+// each GPU worker is a thread that lives for the whole run, blocking on the
+// module's condition variable — work that would wedge a shared task queue.
+//
+// Join() (or the destructor) joins every spawned thread and then re-throws
+// the first exception any of them ended with (later ones are swallowed), so
+// a crashed worker surfaces on the owning thread exactly like ThreadPool's
+// Wait() contract.
+class WorkerGroup {
+ public:
+  WorkerGroup() = default;
+  ~WorkerGroup() noexcept;
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  // Starts one thread running `body`. Must not race with Join().
+  void Spawn(std::function<void()> body);
+
+  // Joins every thread, then re-throws the first captured exception (if
+  // any). Safe to call repeatedly; later calls are no-ops.
+  void Join();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  std::mutex mu_;  // Guards first_error_ only.
+  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace pard
 
 #endif  // PARD_EXEC_THREAD_POOL_H_

@@ -11,6 +11,8 @@
 #include "exec/sweep_runner.h"
 #include "exec/thread_pool.h"
 #include "pipeline/apps.h"
+#include "serve/load_generator.h"
+#include "serve/serve_runtime.h"
 #include "trace/arrival_generator.h"
 
 namespace pard {
@@ -83,6 +85,52 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.transitions = pard->transition_log();
   }
   result.analysis = std::make_unique<RunAnalysis>(pipeline.requests(), result.spec);
+  return result;
+}
+
+ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeOptions& serve) {
+  ExperimentResult result;
+  result.spec = BuildSpec(config);
+
+  // Arrival stream: matched trace replay by default (identical to what the
+  // simulator would inject, so sim-vs-serve comparisons share workloads
+  // exactly), or synthesized open-loop Poisson/MMPP processes.
+  std::vector<SimTime> arrivals;
+  switch (serve.arrivals) {
+    case ServeOptions::Arrivals::kTrace:
+      arrivals = BuildWorkload(config, result);
+      break;
+    case ServeOptions::Arrivals::kPoisson: {
+      result.trace = RateFunction::Constant(serve.poisson_rate);
+      result.mean_input_rate = serve.poisson_rate;
+      Rng rng = Rng(config.seed).Fork("serve:poisson");
+      arrivals = SynthesizePoissonArrivals(serve.poisson_rate, 0, SecToUs(config.duration_s), rng);
+      break;
+    }
+    case ServeOptions::Arrivals::kMmpp: {
+      const MmppOptions& mmpp = serve.mmpp;
+      const double duty =
+          mmpp.mean_burst_s / (mmpp.mean_base_s + mmpp.mean_burst_s);
+      result.mean_input_rate = mmpp.base_rate * (1.0 - duty) + mmpp.burst_rate * duty;
+      result.trace = RateFunction::Constant(result.mean_input_rate);
+      Rng rng = Rng(config.seed).Fork("serve:mmpp");
+      arrivals = SynthesizeMmppArrivals(mmpp, 0, SecToUs(config.duration_s), rng);
+      break;
+    }
+  }
+  PARD_CHECK_MSG(!arrivals.empty(), "serve workload produced no arrivals");
+
+  std::unique_ptr<DropPolicy> policy = BuildPolicy(config, config.seed);
+  RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
+  runtime.enable_scaling = false;  // Fixed worker fleet in serving mode.
+
+  ServeRuntime server(result.spec, runtime, policy.get(), result.mean_input_rate, serve);
+  server.RunTrace(arrivals);
+
+  if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
+    result.transitions = pard->transition_log();
+  }
+  result.analysis = std::make_unique<RunAnalysis>(server.requests(), result.spec);
   return result;
 }
 

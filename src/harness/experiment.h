@@ -24,6 +24,7 @@
 #include "metrics/analysis.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/runtime_options.h"
+#include "serve/serve_options.h"
 #include "trace/traces.h"
 
 namespace pard {
@@ -90,6 +91,17 @@ std::vector<ExperimentResult> RunExperiments(const std::vector<ExperimentConfig>
 // request records and analysis; the PARD transition log and worker history
 // are per-runtime artifacts and stay empty for sharded runs.
 ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards, int jobs);
+
+// Serves the experiment's workload through the wall-clock threaded runtime
+// (src/serve/) instead of the discrete-event simulator: same spec, same
+// deterministic arrival stream (for serve.arrivals == kTrace), same policy
+// construction, and the same metrics records/analysis — but module workers
+// are real threads fed by an open-loop load generator, so the run takes
+// duration_s / serve.speedup of wall time and numbers vary run to run.
+// Scaling and failure injection are not modeled in serving mode (the
+// harness forces enable_scaling off); transitions/worker_history stay empty
+// except the PARD transition log, which is collected after the run.
+ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeOptions& serve);
 
 // Replicated runs: the same experiment across `replicas` seeds
 // (config.seed, config.seed+1, ...), with mean and sample standard deviation

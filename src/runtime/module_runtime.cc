@@ -21,7 +21,8 @@ ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const M
       jitter_rng_(Rng(options.seed).Fork("jitter:" + std::to_string(spec.id))),
       queue_delay_window_(options.stats_window),
       stage_latency_window_(options.stats_window),
-      wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)) {
+      wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)),
+      rate_monitor_(options.stats_window) {
   PARD_CHECK(batch_size_ >= 1);
   PARD_CHECK(initial_workers >= 1);
   for (int i = 0; i < initial_workers; ++i) {
@@ -83,7 +84,7 @@ Worker* ModuleRuntime::ChooseWorker() {
 
 void ModuleRuntime::Receive(RequestPtr req) {
   const SimTime now = sim_->Now();
-  BumpRate(now);
+  rate_monitor_.Bump(now);
   if (req->Terminal()) {
     return;  // Dropped on another branch before delivery.
   }
@@ -120,67 +121,7 @@ void ModuleRuntime::RecordStageLatency(SimTime now, Duration stage_latency) {
   stage_latency_window_.Add(now, static_cast<double>(stage_latency));
 }
 
-void ModuleRuntime::BumpRate(SimTime now) {
-  EvictRateBins(now);
-  const SimTime bin_start = (now / kUsPerSec) * kUsPerSec;
-  if (rate_bins_.empty() || rate_bins_.back().start != bin_start) {
-    rate_bins_.push_back(RateBin{bin_start, 0});
-  }
-  ++rate_bins_.back().count;
-}
-
-void ModuleRuntime::EvictRateBins(SimTime now) {
-  const SimTime horizon = now - options_.stats_window;
-  while (!rate_bins_.empty() && rate_bins_.front().start + kUsPerSec <= horizon) {
-    rate_bins_.pop_front();
-  }
-}
-
-double ModuleRuntime::RawInputRate(SimTime now) {
-  EvictRateBins(now);
-  if (rate_bins_.empty()) {
-    return 0.0;
-  }
-  // Most recent complete view: the last bin scaled by its coverage.
-  const RateBin& last = rate_bins_.back();
-  const double coverage =
-      std::clamp(UsToSec(now - last.start), 0.1, 1.0);
-  return static_cast<double>(last.count) / coverage;
-}
-
-double ModuleRuntime::SmoothedInputRate(SimTime now) {
-  EvictRateBins(now);
-  if (rate_bins_.empty()) {
-    return 0.0;
-  }
-  int total = 0;
-  for (const RateBin& b : rate_bins_) {
-    total += b.count;
-  }
-  const double covered =
-      std::clamp(UsToSec(now - rate_bins_.front().start), 1.0, UsToSec(options_.stats_window));
-  return static_cast<double>(total) / covered;
-}
-
-double ModuleRuntime::Burstiness(SimTime now) {
-  EvictRateBins(now);
-  if (rate_bins_.size() < 2) {
-    return 0.0;
-  }
-  double sum = 0.0;
-  for (const RateBin& b : rate_bins_) {
-    sum += static_cast<double>(b.count);
-  }
-  const double mean = sum / static_cast<double>(rate_bins_.size());
-  if (sum <= 0.0) {
-    return 0.0;
-  }
-  double dev = 0.0;
-  for (const RateBin& b : rate_bins_) {
-    dev += std::abs(static_cast<double>(b.count) - mean);
-  }
-  return dev / sum;
-}
+double ModuleRuntime::SmoothedInputRate(SimTime now) { return rate_monitor_.Smoothed(now); }
 
 void ModuleRuntime::Sync(SimTime now, StateBoard* board) {
   ReapRetired();
@@ -194,11 +135,11 @@ void ModuleRuntime::Sync(SimTime now, StateBoard* board) {
   state.batch_duration = profile_.BatchDuration(batch_size_);
   state.num_workers = std::max(1, ActiveWorkers());
   state.per_worker_throughput = PerWorkerThroughput();
-  state.input_rate = RawInputRate(now);
-  state.smoothed_rate = SmoothedInputRate(now);
+  state.input_rate = rate_monitor_.Raw(now);
+  state.smoothed_rate = rate_monitor_.Smoothed(now);
   const double capacity = state.per_worker_throughput * state.num_workers;
   state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
-  state.burstiness = Burstiness(now);
+  state.burstiness = rate_monitor_.Burstiness(now);
   state.wait_samples = wait_reservoir_.values();
   std::sort(state.wait_samples.begin(), state.wait_samples.end());
   board->Publish(std::move(state));

@@ -8,7 +8,6 @@
 #ifndef PARD_RUNTIME_MODULE_RUNTIME_H_
 #define PARD_RUNTIME_MODULE_RUNTIME_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "models/model_profile.h"
 #include "pipeline/pipeline_spec.h"
 #include "runtime/drop_policy.h"
+#include "runtime/rate_monitor.h"
 #include "runtime/request.h"
 #include "runtime/runtime_options.h"
 #include "runtime/state_board.h"
@@ -97,16 +97,8 @@ class ModuleRuntime {
   SlidingWindow stage_latency_window_;
   RecentReservoir wait_reservoir_;
   // Per-second arrival bins for input rate / burstiness (covers the stats
-  // window).
-  struct RateBin {
-    SimTime start;
-    int count;
-  };
-  std::deque<RateBin> rate_bins_;
-  void BumpRate(SimTime now);
-  void EvictRateBins(SimTime now);
-  double RawInputRate(SimTime now);
-  double Burstiness(SimTime now);
+  // window; shared arithmetic with the serving runtime's modules).
+  RateMonitor rate_monitor_;
 };
 
 }  // namespace pard

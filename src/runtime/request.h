@@ -7,6 +7,15 @@
 // attributed to the request, from which every evaluation metric (goodput,
 // drop rate, invalid rate, per-module drop placement, budget consumption) is
 // derived after the run.
+//
+// Concurrency contract (serving runtime): identity fields (id, sent, slo,
+// deadline, branch_choice, expected_arrivals) are immutable after injection.
+// Each hops[k] is written only by module k's worker threads, which never
+// race each other on one request (a request is in at most one batch at k).
+// The terminal fields (fate, drop_module, finish) and merge_arrivals flip
+// under ServeRuntime's state mutex — cross-branch readers must go through
+// ServeRuntime::IsTerminal rather than reading `fate` directly while a run
+// is live. The single-threaded simulator needs none of this.
 #ifndef PARD_RUNTIME_REQUEST_H_
 #define PARD_RUNTIME_REQUEST_H_
 

@@ -10,6 +10,14 @@
 // outnumber live ones, so a queue driven through a single view (e.g. a long
 // HBF/LBF phase never touching the FIFO) stays bounded by its live size
 // instead of by its history.
+//
+// Concurrency contract: the queue is NOT internally synchronized — both
+// views mutate shared slab state on every Push/Pop/MinDeadline (lazy
+// invalidation and compaction make even "read" paths writes). Single
+// ownership in the simulator serializes access for free; the serving
+// runtime shares one queue among N worker threads and guards every call
+// with the owning ServeModule's mutex (see src/serve/serve_module.h). The
+// serve test suite runs under TSan to pin this contract.
 #ifndef PARD_RUNTIME_REQUEST_QUEUE_H_
 #define PARD_RUNTIME_REQUEST_QUEUE_H_
 

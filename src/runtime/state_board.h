@@ -5,6 +5,13 @@
 // synchronization); policies read the latest snapshots of *other* modules to
 // estimate downstream latency. Snapshots are therefore up to one period
 // stale, exactly like the gRPC state exchange in the real system.
+//
+// Concurrency contract: not internally synchronized. Publish() replaces a
+// snapshot and bumps the version counter that estimator epoch caches key
+// on, so readers racing a publish could observe a torn (state, version)
+// pair. The simulator's event loop serializes everything; the serving
+// runtime routes every read and publish through the ControlPlane facade's
+// single mutex (src/serve/control_plane.h).
 #ifndef PARD_RUNTIME_STATE_BOARD_H_
 #define PARD_RUNTIME_STATE_BOARD_H_
 

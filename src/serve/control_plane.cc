@@ -1,0 +1,39 @@
+#include "serve/control_plane.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pard {
+
+ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board)
+    : policy_(policy), board_(board) {
+  PARD_CHECK(spec != nullptr && policy_ != nullptr && board_ != nullptr);
+  policy_->Bind(spec, board_);
+  purge_expired_ = policy_->PurgeExpired();
+}
+
+bool ControlPlane::ShouldDrop(const AdmissionContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_->ShouldDrop(ctx);
+}
+
+PopSide ControlPlane::ChoosePopSide(int module_id, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_->ChoosePopSide(module_id, now);
+}
+
+bool ControlPlane::AdmitAtModule(const Request& request, int module_id, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_->AdmitAtModule(request, module_id, now);
+}
+
+void ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ModuleState& state : states) {
+    board_->Publish(std::move(state));
+  }
+  policy_->OnSync(now);
+}
+
+}  // namespace pard

@@ -1,0 +1,58 @@
+// Thread-safe facade over the drop policy, latency estimator and StateBoard.
+//
+// None of the decision-time machinery is internally synchronized: the
+// estimator's epoch cache and RNG mutate on every ShouldDrop(), the adaptive
+// priority controllers mutate on OnSync(), and StateBoard::Publish bumps the
+// version counter the caches key on. In the simulator a single event loop
+// serializes all of it for free; in the serving runtime many module workers
+// decide concurrently, so every policy/board touch goes through this facade
+// and its single mutex.
+//
+// One lock for the whole control plane is deliberate (and cheap): between
+// state syncs a PARD broker decision is an epoch-cache read — nanoseconds
+// under the lock — and syncs are once per virtual second. TSan-cleanliness
+// of the serve suite pins the contract.
+//
+// Lock ordering: module mutex → control mutex is the only permitted nesting
+// (workers decide while holding their module's lock). The sync path
+// therefore snapshots module state FIRST (module locks, one at a time) and
+// publishes SECOND (control lock), never holding both.
+#ifndef PARD_SERVE_CONTROL_PLANE_H_
+#define PARD_SERVE_CONTROL_PLANE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "runtime/drop_policy.h"
+#include "runtime/state_board.h"
+
+namespace pard {
+
+class ControlPlane {
+ public:
+  // `policy` and `board` must outlive the control plane. Binds the policy to
+  // the spec/board like PipelineRuntime does.
+  ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board);
+
+  // Request Broker decision (workers, batch formation / ingress admission).
+  bool ShouldDrop(const AdmissionContext& ctx);
+  PopSide ChoosePopSide(int module_id, SimTime now);
+  bool AdmitAtModule(const Request& request, int module_id, SimTime now);
+  // Lock-free: a fixed per-policy property, cached at construction so every
+  // batch formation does not take the global mutex just to re-read it.
+  bool PurgeExpired() const { return purge_expired_; }
+
+  // State sync: publishes every snapshot, then lets the policy react —
+  // exactly PipelineRuntime::SyncTick under one lock acquisition.
+  void Sync(std::vector<ModuleState> states, SimTime now);
+
+ private:
+  mutable std::mutex mu_;
+  DropPolicy* policy_;
+  StateBoard* board_;
+  bool purge_expired_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SERVE_CONTROL_PLANE_H_

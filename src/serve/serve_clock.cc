@@ -1,0 +1,38 @@
+#include "serve/serve_clock.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+
+namespace pard {
+
+ServeClock::ServeClock(double speedup) : speedup_(speedup) {
+  PARD_CHECK_MSG(std::isfinite(speedup) && speedup > 0.0, "speedup must be positive");
+}
+
+void ServeClock::Start() { epoch_ = std::chrono::steady_clock::now(); }
+
+SimTime ServeClock::Now() const {
+  const auto wall = std::chrono::steady_clock::now() - epoch_;
+  const double wall_us = std::chrono::duration<double, std::micro>(wall).count();
+  return static_cast<SimTime>(wall_us * speedup_);
+}
+
+std::chrono::steady_clock::time_point ServeClock::WallAt(SimTime t) const {
+  const double wall_us = static_cast<double>(t) / speedup_;
+  return epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::micro>(wall_us));
+}
+
+void ServeClock::SleepUntil(SimTime t) const { std::this_thread::sleep_until(WallAt(t)); }
+
+void ServeClock::SleepFor(Duration d) const {
+  if (d <= 0) {
+    return;
+  }
+  const double wall_us = static_cast<double>(d) / speedup_;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(wall_us));
+}
+
+}  // namespace pard

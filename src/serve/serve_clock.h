@@ -1,0 +1,53 @@
+// Wall-clock ↔ virtual-time mapping for the serving runtime.
+//
+// The simulator reasons in virtual microseconds (SimTime); the serving
+// runtime executes in real time. A ServeClock anchors virtual time 0 to a
+// wall-clock epoch and advances it `speedup` times faster than the wall:
+// with speedup = 20, one wall second carries 20 virtual seconds, so a
+// 240 s trace replays in 12 s while every profiled duration, SLO and sync
+// period keeps its virtual value. speedup = 1 is true real-time serving.
+//
+// Concurrency: Start() must happen before any concurrent use; after that
+// every member is const and safe to call from any thread (the epoch is
+// read-only and steady_clock reads are thread-safe).
+#ifndef PARD_SERVE_SERVE_CLOCK_H_
+#define PARD_SERVE_SERVE_CLOCK_H_
+
+#include <chrono>
+
+#include "common/time_types.h"
+
+namespace pard {
+
+class ServeClock {
+ public:
+  // speedup must be > 0; values < 1 slow virtual time down (useful for
+  // debugging races at human speed).
+  explicit ServeClock(double speedup);
+
+  // Anchors virtual time 0 to "now". Call exactly once, before any reader.
+  void Start();
+
+  double speedup() const { return speedup_; }
+
+  // Current virtual time (microseconds since Start()).
+  SimTime Now() const;
+
+  // Blocks the calling thread until Now() >= t. Returns immediately when t
+  // is already past. Sleeps are bounded (no condition), so shutdown simply
+  // waits out the last sleeper.
+  void SleepUntil(SimTime t) const;
+
+  // Blocks for `d` of virtual time (d / speedup of wall time).
+  void SleepFor(Duration d) const;
+
+ private:
+  std::chrono::steady_clock::time_point WallAt(SimTime t) const;
+
+  double speedup_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SERVE_SERVE_CLOCK_H_

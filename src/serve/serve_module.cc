@@ -1,0 +1,196 @@
+#include "serve/serve_module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "serve/serve_runtime.h"
+
+namespace pard {
+
+ServeModule::ServeModule(ServeRuntime* runtime, const ModuleSpec& spec,
+                         const ModelProfile& profile, int batch_size, int workers,
+                         const RuntimeOptions& options)
+    : runtime_(runtime),
+      spec_(spec),
+      profile_(profile),
+      batch_size_(batch_size),
+      worker_count_(workers),
+      options_(options),
+      jitter_rng_(Rng(options.seed).Fork("serve-jitter:" + std::to_string(spec.id))),
+      queue_delay_window_(options.stats_window),
+      stage_latency_window_(options.stats_window),
+      wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)),
+      rate_monitor_(options.stats_window) {
+  PARD_CHECK(batch_size_ >= 1);
+  PARD_CHECK(worker_count_ >= 1);
+}
+
+void ServeModule::Start() {
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.Spawn([this] { WorkerLoop(); });
+  }
+}
+
+void ServeModule::NoteOffered(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_monitor_.Bump(now);
+}
+
+void ServeModule::Receive(RequestPtr req) {
+  const SimTime now = runtime_->clock().Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
+    queue_.Push(std::move(req));
+  }
+  work_ready_.notify_one();
+}
+
+void ServeModule::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+}
+
+void ServeModule::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    while (!queue_.Empty()) {
+      queue_.Pop(PopSide::kOldest);  // Discard; leftovers are swept kLate.
+    }
+  }
+  work_ready_.notify_all();
+}
+
+void ServeModule::Join() { workers_.Join(); }
+
+std::vector<RequestPtr> ServeModule::FormBatchLocked(SimTime now) {
+  std::vector<RequestPtr> batch;
+  ControlPlane& control = runtime_->control();
+  if (control.PurgeExpired()) {
+    // Deadline already passed while queued: unservable under any policy.
+    while (queue_.MinDeadline() < now) {
+      RequestPtr expired = queue_.Pop(PopSide::kMinBudget);
+      if (expired == nullptr) {
+        break;
+      }
+      if (!runtime_->IsTerminal(*expired)) {
+        expired->hops[static_cast<std::size_t>(spec_.id)].batch_entry = now;
+        runtime_->Drop(expired, spec_.id, now);
+      }
+    }
+  }
+  const Duration d_k = profile_.BatchDuration(batch_size_);
+  while (static_cast<int>(batch.size()) < batch_size_ && !queue_.Empty()) {
+    const PopSide side = control.ChoosePopSide(spec_.id, now);
+    RequestPtr req = queue_.Pop(side);
+    if (req == nullptr) {
+      break;
+    }
+    if (runtime_->IsTerminal(*req)) {
+      continue;  // Dropped on another DAG branch while queued here.
+    }
+    HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
+    hop.batch_entry = now;
+    AdmissionContext ctx;
+    ctx.request = req.get();
+    ctx.module_id = spec_.id;
+    ctx.now = now;
+    // A pull-based worker is free when it forms: the batch starts now.
+    ctx.batch_start = now;
+    ctx.batch_duration = d_k;
+    ctx.batch_size = batch_size_;
+    if (control.ShouldDrop(ctx)) {
+      runtime_->Drop(req, spec_.id, now);
+      continue;
+    }
+    queue_delay_window_.Add(MonotonicLocked(now), static_cast<double>(hop.QueueDelay()));
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+void ServeModule::WorkerLoop() {
+  const ServeClock& clock = runtime_->clock();
+  for (;;) {
+    std::vector<RequestPtr> batch;
+    SimTime formed_at = 0;
+    Duration planned = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.Empty(); });
+      if (queue_.Empty()) {
+        if (stop_) {
+          return;
+        }
+        continue;  // Spurious wake or a sibling consumed the work.
+      }
+      formed_at = clock.Now();
+      batch = FormBatchLocked(formed_at);
+      if (batch.empty()) {
+        continue;  // Everything expired or was dropped proactively.
+      }
+      // Profiled duration with the configured jitter (jitter_rng_ under mu_).
+      planned = profile_.BatchDuration(static_cast<int>(batch.size()));
+      if (options_.exec_jitter > 0.0) {
+        const double factor =
+            std::max(0.5, jitter_rng_.Normal(1.0, options_.exec_jitter));
+        planned = static_cast<Duration>(static_cast<double>(planned) * factor);
+      }
+    }
+
+    // "Execute" on the GPU: occupy this worker for the profiled duration in
+    // scaled wall time. Timestamps use the measured window, so scheduler
+    // overshoot is charged to the batch like real kernel-time variance.
+    const SimTime exec_start = clock.Now();
+    clock.SleepFor(planned);
+    const SimTime exec_end = clock.Now();
+    const Duration gpu_share = (exec_end - exec_start) / static_cast<Duration>(batch.size());
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const RequestPtr& req : batch) {
+        HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
+        hop.exec_start = exec_start;
+        hop.exec_end = exec_end;
+        hop.gpu_time = gpu_share;
+        hop.executed = true;
+        wait_reservoir_.Add(static_cast<double>(hop.BatchWait()));
+        stage_latency_window_.Add(MonotonicLocked(exec_end),
+                                  static_cast<double>(exec_end - hop.arrive));
+      }
+    }
+    for (RequestPtr& req : batch) {
+      runtime_->OnModuleDone(req, spec_.id, exec_end);
+    }
+  }
+}
+
+ModuleState ServeModule::Snapshot(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModuleState state;
+  state.module_id = spec_.id;
+  state.updated_at = now;
+  state.avg_queue_delay = queue_delay_window_.LinearWeightedMean(now, 0.0);
+  state.worst_stage_latency = stage_latency_window_.Max(
+      now, static_cast<double>(profile_.BatchDuration(batch_size_)));
+  state.batch_size = batch_size_;
+  state.batch_duration = profile_.BatchDuration(batch_size_);
+  state.num_workers = worker_count_;
+  state.per_worker_throughput = profile_.Throughput(batch_size_);
+  state.input_rate = rate_monitor_.Raw(now);
+  state.smoothed_rate = rate_monitor_.Smoothed(now);
+  const double capacity = state.per_worker_throughput * state.num_workers;
+  state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
+  state.burstiness = rate_monitor_.Burstiness(now);
+  state.wait_samples = wait_reservoir_.values();
+  std::sort(state.wait_samples.begin(), state.wait_samples.end());
+  return state;
+}
+
+}  // namespace pard

@@ -1,0 +1,120 @@
+// One pipeline module served by real threads.
+//
+// The simulated ModuleRuntime dispatches to per-worker queues inside one
+// event loop; here a module is a single shared DEPQ drained by N OS threads,
+// each playing one GPU worker. A worker pulls a batch (applying the Request
+// Broker's drop decision per candidate under the control-plane facade),
+// "executes" it by sleeping the profiled duration in scaled wall time, then
+// hands the batch back to the runtime for forwarding.
+//
+// Batching discipline vs the simulator: a pull-based worker launches as soon
+// as it is free, so the batch-entry and execution-start instants coincide
+// (W ≈ 0) and contention shows up entirely as queueing delay Q. This is the
+// natural discipline for a thread-per-worker server; the simulator's
+// form-while-executing overlap (W ∈ [0, d]) is one reason serve and sim
+// numbers agree only within a tolerance band (see tests/serve_test.cc).
+//
+// Concurrency contract: `mu_` guards the queue and all monitoring state
+// (windows, reservoir, rate bins). Workers may take the control-plane lock
+// while holding `mu_` (module → control order); Snapshot() takes only `mu_`
+// so the sync thread can snapshot first and publish second without ever
+// nesting control → module.
+#ifndef PARD_SERVE_SERVE_MODULE_H_
+#define PARD_SERVE_SERVE_MODULE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "models/model_profile.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/rate_monitor.h"
+#include "runtime/request.h"
+#include "runtime/request_queue.h"
+#include "runtime/runtime_options.h"
+#include "runtime/state_board.h"
+#include "stats/reservoir.h"
+#include "stats/sliding_window.h"
+
+namespace pard {
+
+class ServeRuntime;
+
+class ServeModule {
+ public:
+  ServeModule(ServeRuntime* runtime, const ModuleSpec& spec, const ModelProfile& profile,
+              int batch_size, int workers, const RuntimeOptions& options);
+
+  // Spawns the worker threads. Call once, after construction of all modules.
+  void Start();
+
+  // Thread-safe offered-load accounting. The runtime calls this for every
+  // delivery BEFORE the admission front-end, mirroring the simulator's
+  // bump-then-admit order in ModuleRuntime::Receive — load_factor and
+  // burstiness must measure offered load, or the adaptive priority would
+  // see artificially low load exactly when ingress shedding is heaviest.
+  void NoteOffered(SimTime now);
+
+  // Thread-safe delivery (ingress admission already done by the runtime).
+  void Receive(RequestPtr req);
+
+  // Asks workers to exit once the queue is empty, then unblocks them.
+  void RequestStop();
+  // Drain-timeout stop: discards the entire backlog (abandoned requests stay
+  // non-terminal; the runtime's conservation sweep accounts them kLate) and
+  // stops workers. Each worker finishes at most its in-flight batch, so the
+  // run ends within one batch duration instead of serving the backlog out.
+  void Abort();
+  // Joins worker threads; re-throws the first worker exception.
+  void Join();
+
+  // Monitoring snapshot for the state-sync thread. Takes only the module
+  // lock (see the lock-ordering note above).
+  ModuleState Snapshot(SimTime now);
+
+  int module_id() const { return spec_.id; }
+  int batch_size() const { return batch_size_; }
+  int worker_count() const { return worker_count_; }
+
+ private:
+  void WorkerLoop();
+  // Pops up to batch_size_ live requests, applying purge + broker decisions.
+  // Caller holds mu_.
+  std::vector<RequestPtr> FormBatchLocked(SimTime now);
+
+  ServeRuntime* runtime_;
+  ModuleSpec spec_;
+  const ModelProfile& profile_;
+  int batch_size_;
+  int worker_count_;
+  RuntimeOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  bool stop_ = false;
+  RequestQueue queue_;
+  Rng jitter_rng_;
+
+  // State-planner monitoring, all guarded by mu_. SlidingWindow requires
+  // non-decreasing timestamps but concurrent workers observe slightly
+  // out-of-order clock reads; MonotonicLocked() clamps observation times to
+  // the module's high-water mark before they reach a window.
+  SimTime obs_clock_ = 0;
+  SimTime MonotonicLocked(SimTime t) {
+    obs_clock_ = std::max(obs_clock_, t);
+    return obs_clock_;
+  }
+  SlidingWindow queue_delay_window_;
+  SlidingWindow stage_latency_window_;
+  RecentReservoir wait_reservoir_;
+  RateMonitor rate_monitor_;
+
+  WorkerGroup workers_;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SERVE_SERVE_MODULE_H_

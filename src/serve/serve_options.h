@@ -1,0 +1,40 @@
+// Configuration specific to the wall-clock serving runtime.
+#ifndef PARD_SERVE_SERVE_OPTIONS_H_
+#define PARD_SERVE_SERVE_OPTIONS_H_
+
+#include "common/time_types.h"
+#include "serve/load_generator.h"
+
+namespace pard {
+
+struct ServeOptions {
+  // Virtual seconds per wall second. 1.0 serves in true real time; the
+  // default compresses a 240 s trace into 12 s of wall time. Timing noise
+  // (scheduler jitter, sleep granularity ~100 us wall) is multiplied by the
+  // speedup in virtual terms, so very large values blur the latency
+  // decomposition — keep <= ~100 for meaningful numbers.
+  double speedup = 20.0;
+
+  // How the load generator produces arrivals:
+  //   kTrace   — replay the harness trace's virtual timestamps (matched
+  //              workload for sim-vs-serve comparison).
+  //   kPoisson — open-loop homogeneous Poisson at `poisson_rate`.
+  //   kMmpp    — two-state Markov-modulated Poisson (bursty stress).
+  enum class Arrivals { kTrace, kPoisson, kMmpp };
+  Arrivals arrivals = Arrivals::kTrace;
+  double poisson_rate = 120.0;  // req/s, kPoisson only.
+  MmppOptions mmpp;             // kMmpp only.
+
+  // Virtual drain budget after the last arrival before in-flight requests
+  // are abandoned (accounted kLate). Bounds the run when a queue wedges.
+  Duration drain = 5 * kUsPerSec;
+
+  // Hard cap on total worker threads across all modules; provisioning
+  // scales down proportionally when the plan exceeds it. Real threads are
+  // not free the way simulated workers are.
+  int max_total_threads = 64;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SERVE_SERVE_OPTIONS_H_

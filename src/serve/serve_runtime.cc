@@ -1,0 +1,316 @@
+#include "serve/serve_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "models/registry.h"
+#include "runtime/batch_planner.h"
+
+namespace pard {
+
+namespace {
+
+// Proportional scale-down of a worker plan to a total-thread cap. The
+// max(1, ...) floor can leave the scaled sum above the cap (many light
+// modules plus one heavy one), so trim the largest entries until the cap
+// truly holds — the caller guarantees cap >= module count, so one worker
+// per module always fits.
+std::vector<int> CapTotalWorkers(std::vector<int> plan, int cap) {
+  int total = 0;
+  for (int w : plan) {
+    total += w;
+  }
+  if (total <= cap) {
+    return plan;
+  }
+  const double scale = static_cast<double>(cap) / static_cast<double>(total);
+  total = 0;
+  for (int& w : plan) {
+    w = std::max(1, static_cast<int>(static_cast<double>(w) * scale));
+    total += w;
+  }
+  while (total > cap) {
+    auto largest = std::max_element(plan.begin(), plan.end());
+    if (*largest <= 1) {
+      break;  // Cannot trim below one worker per module.
+    }
+    --*largest;
+    --total;
+  }
+  return plan;
+}
+
+}  // namespace
+
+ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& options,
+                           DropPolicy* policy, double expected_rate, const ServeOptions& serve)
+    : spec_(spec),
+      options_(options),
+      serve_(serve),
+      clock_(serve.speedup),
+      board_(spec.NumModules()),
+      control_(&spec_, policy, &board_),
+      batch_sizes_(PlanBatchSizes(spec_)),
+      rng_(options.seed) {
+  PARD_CHECK_MSG(options_.failures.empty(),
+                 "failure injection is not modeled in serving mode");
+  PARD_CHECK(serve_.max_total_threads >= spec_.NumModules());
+  if (!options_.fixed_workers.empty()) {
+    PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
+                   "fixed_workers size must match module count");
+    worker_plan_ = options_.fixed_workers;
+  } else {
+    worker_plan_ = PlanWorkers(spec_, batch_sizes_, expected_rate, options_.provision_headroom,
+                               options_.max_workers_per_module, options_.total_gpus);
+  }
+  worker_plan_ = CapTotalWorkers(worker_plan_, serve_.max_total_threads);
+  for (const ModuleSpec& m : spec_.modules()) {
+    const ModelProfile& profile = ProfileRegistry::Get(m.model);
+    planned_batch_duration_.push_back(
+        profile.BatchDuration(batch_sizes_[static_cast<std::size_t>(m.id)]));
+    modules_.push_back(std::make_unique<ServeModule>(
+        this, m, profile, batch_sizes_[static_cast<std::size_t>(m.id)],
+        worker_plan_[static_cast<std::size_t>(m.id)], options_));
+  }
+}
+
+bool ServeRuntime::IsTerminal(const Request& req) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return req.Terminal();
+}
+
+void ServeRuntime::AssignDynamicPathLocked(Request& req) {
+  const int n = spec_.NumModules();
+  req.branch_choice.assign(static_cast<std::size_t>(n), -1);
+  req.expected_arrivals.assign(static_cast<std::size_t>(n), 0);
+  std::vector<bool> active(static_cast<std::size_t>(n), false);
+  active[static_cast<std::size_t>(spec_.SourceModule())] = true;
+  for (int id : spec_.TopoOrder()) {
+    if (!active[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    const ModuleSpec& m = spec_.Module(id);
+    if (m.subs.size() > 1) {
+      const int pick = static_cast<int>(
+          rng_.UniformInt(0, static_cast<std::int64_t>(m.subs.size()) - 1));
+      const int chosen = m.subs[static_cast<std::size_t>(pick)];
+      req.branch_choice[static_cast<std::size_t>(id)] = chosen;
+      active[static_cast<std::size_t>(chosen)] = true;
+      ++req.expected_arrivals[static_cast<std::size_t>(chosen)];
+    } else {
+      for (int s : m.subs) {
+        active[static_cast<std::size_t>(s)] = true;
+        ++req.expected_arrivals[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+}
+
+void ServeRuntime::Inject(SimTime scheduled) {
+  (void)scheduled;  // Open loop: the *actual* instant is the send time.
+  const SimTime now = clock_.Now();
+  RequestPtr req = std::make_shared<Request>();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    req->id = next_request_id_++;
+    req->sent = now;
+    req->slo = spec_.slo();
+    req->deadline = req->sent + req->slo;
+    req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
+    req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
+    if (options_.dynamic_paths) {
+      AssignDynamicPathLocked(*req);
+    }
+    requests_.push_back(req);
+    in_flight_.fetch_add(1, std::memory_order_release);
+  }
+  Deliver(req, spec_.SourceModule(), now);
+}
+
+void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
+  const ModuleSpec& m = spec_.Module(module_id);
+  if (m.pres.size() > 1) {
+    // DAG merge: enqueue only once all expected branches delivered.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    int& arrived = req->merge_arrivals[static_cast<std::size_t>(module_id)];
+    ++arrived;
+    if (req->Terminal()) {
+      return;  // A sibling branch was dropped; nothing to merge.
+    }
+    const int expected = req->HasDynamicPath()
+                             ? req->expected_arrivals[static_cast<std::size_t>(module_id)]
+                             : static_cast<int>(m.pres.size());
+    if (arrived < expected) {
+      return;
+    }
+  }
+  // Offered load is counted before admission (like the simulator's
+  // bump-then-admit Receive), so shed traffic still drives load_factor.
+  modules_[static_cast<std::size_t>(module_id)]->NoteOffered(now);
+  // Admission front-end: the paper's proactive drop runs BEFORE the request
+  // enters the module queue — enqueue-time admission plus the Request Broker
+  // predicate with the delivery instant as the hypothetical batch start. A
+  // request that cannot meet its SLO even if a worker picked it up right now
+  // never consumes queue space or a broker slot later.
+  if (!control_.AdmitAtModule(*req, module_id, now)) {
+    req->hops[static_cast<std::size_t>(module_id)].arrive = now;
+    Drop(req, module_id, now);
+    return;
+  }
+  AdmissionContext ctx;
+  ctx.request = req.get();
+  ctx.module_id = module_id;
+  ctx.now = now;
+  ctx.batch_start = now;
+  ctx.batch_duration = planned_batch_duration_[static_cast<std::size_t>(module_id)];
+  ctx.batch_size = batch_sizes_[static_cast<std::size_t>(module_id)];
+  if (control_.ShouldDrop(ctx)) {
+    req->hops[static_cast<std::size_t>(module_id)].arrive = now;
+    req->hops[static_cast<std::size_t>(module_id)].batch_entry = now;
+    Drop(req, module_id, now);
+    return;
+  }
+  modules_[static_cast<std::size_t>(module_id)]->Receive(req);
+}
+
+void ServeRuntime::OnModuleDone(const RequestPtr& req, int module_id, SimTime now) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (req->Terminal()) {
+      return;  // Dropped on a parallel branch while this one executed.
+    }
+  }
+  const ModuleSpec& m = spec_.Module(module_id);
+  if (m.subs.empty()) {
+    Complete(req, now);
+    return;
+  }
+  if (req->HasDynamicPath() && m.subs.size() > 1) {
+    Deliver(req, req->branch_choice[static_cast<std::size_t>(module_id)], now);
+    return;
+  }
+  for (int sub : m.subs) {
+    Deliver(req, sub, now);
+  }
+}
+
+void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (req->Terminal()) {
+    return;
+  }
+  req->fate = RequestFate::kDropped;
+  req->drop_module = module_id;
+  req->finish = now;
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (req->Terminal()) {
+    return;
+  }
+  req->finish = now;
+  req->fate = now <= req->deadline ? RequestFate::kCompleted : RequestFate::kLate;
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void ServeRuntime::SyncLoop() {
+  SimTime next = options_.sync_period;
+  while (!stop_sync_.load(std::memory_order_relaxed)) {
+    clock_.SleepUntil(next);
+    if (stop_sync_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const SimTime now = clock_.Now();
+    std::vector<ModuleState> states;
+    states.reserve(modules_.size());
+    for (auto& module : modules_) {
+      states.push_back(module->Snapshot(now));  // Module locks, one at a time.
+    }
+    control_.Sync(std::move(states), now);  // Control lock; never nested.
+    next += options_.sync_period;
+  }
+}
+
+void ServeRuntime::Shutdown(bool abandon_backlog) {
+  // Topo order: once module k's workers have joined, nothing can deliver to
+  // k's successors, so each successor sees its final queue before its own
+  // stop flag is observed with an empty queue. On the abandon path the
+  // backlog is discarded instead of served; upstream joins first, so each
+  // module re-discards at most the handful of batches its predecessors had
+  // in flight.
+  for (int id : spec_.TopoOrder()) {
+    ServeModule& module = *modules_[static_cast<std::size_t>(id)];
+    if (abandon_backlog) {
+      module.Abort();
+    } else {
+      module.RequestStop();
+    }
+    module.Join();
+    if (abandon_backlog) {
+      module.Abort();  // Re-discard what upstream forwarded while joining.
+    }
+  }
+  stop_sync_.store(true, std::memory_order_relaxed);
+  sync_thread_.Join();
+}
+
+void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
+  PARD_CHECK_MSG(!ran_, "ServeRuntime::RunTrace may run only once");
+  ran_ = true;
+  PARD_CHECK_MSG(std::is_sorted(arrivals.begin(), arrivals.end()),
+                 "arrival timestamps must be sorted");
+
+  clock_.Start();
+  for (auto& module : modules_) {
+    module->Start();
+  }
+  sync_thread_.Spawn([this] { SyncLoop(); });
+
+  try {
+    LoadGenerator generator(&clock_, arrivals, [this](SimTime t) { Inject(t); });
+    generator.Start();
+    generator.Join();
+
+    // Drain: wait for in-flight requests to resolve, bounded by SLO + drain.
+    const SimTime deadline = generator.LastArrival() + spec_.slo() + serve_.drain;
+    bool drained = AllTerminal();
+    while (!drained && clock_.Now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      drained = AllTerminal();
+    }
+    // Deadline hit with work still queued (e.g. a drop-free policy under
+    // overload): abandon the backlog so the run actually ends here instead
+    // of serving it out.
+    Shutdown(/*abandon_backlog=*/!drained);
+  } catch (...) {
+    // A worker/injector exception must not leave sibling threads parked on
+    // their condition variables (member destructors would join forever).
+    // Module joins rethrow the FIRST worker error, which would mask the
+    // in-flight one — so swallow secondary errors here and rethrow the
+    // original.
+    try {
+      Shutdown(/*abandon_backlog=*/true);
+    } catch (...) {
+    }
+    throw;
+  }
+
+  // Conservation: anything still in flight (wedged queue, drain timeout) is
+  // accounted as late rather than silently vanishing.
+  const SimTime now = clock_.Now();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const RequestPtr& req : requests_) {
+    if (!req->Terminal()) {
+      req->fate = RequestFate::kLate;
+      req->finish = now;
+      in_flight_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace pard

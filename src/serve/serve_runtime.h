@@ -1,0 +1,128 @@
+// Wall-clock serving runtime: the simulator's serving semantics on real
+// threads.
+//
+// Where PipelineRuntime multiplexes every module, worker and control tick
+// through one discrete-event loop, ServeRuntime is a live prototype of the
+// paper's system: an open-loop load generator injects requests in (scaled)
+// real time, each module's GPU workers are OS threads draining a shared
+// DEPQ, the PARD broker / estimator / baselines make their decisions against
+// wall-clock deadlines behind the ControlPlane facade, and a state-sync
+// thread publishes ModuleState snapshots once per virtual second exactly
+// like the paper's gRPC state exchange.
+//
+// An admission front-end performs the proactive drops before a request
+// enters any module queue: at every delivery the policy's enqueue-time
+// admission AND the Request Broker predicate (with the delivery instant as
+// the hypothetical batch start) run first, so requests that cannot meet
+// their SLO never consume queue space or GPU time.
+//
+// Scope vs the simulator: worker counts are fixed for the run (no scaling
+// engine), failure injection is not modeled, and inter-module network delay
+// is folded into real forwarding cost. Runs are NOT bit-deterministic —
+// thread scheduling and sleep granularity vary run to run; determinism lives
+// in the arrival stream only. Leftover in-flight requests at the drain
+// deadline are accounted kLate so conservation holds.
+#ifndef PARD_SERVE_SERVE_RUNTIME_H_
+#define PARD_SERVE_SERVE_RUNTIME_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "pipeline/pipeline_spec.h"
+#include "runtime/drop_policy.h"
+#include "runtime/request.h"
+#include "runtime/runtime_options.h"
+#include "runtime/state_board.h"
+#include "serve/control_plane.h"
+#include "serve/serve_clock.h"
+#include "serve/serve_module.h"
+#include "serve/serve_options.h"
+
+namespace pard {
+
+class ServeRuntime {
+ public:
+  // `policy` must outlive the runtime. Worker provisioning mirrors
+  // PipelineRuntime (options.fixed_workers, else PlanWorkers from
+  // `expected_rate`), additionally capped at serve.max_total_threads real
+  // threads across all modules.
+  ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& options, DropPolicy* policy,
+               double expected_rate, const ServeOptions& serve);
+
+  // Serves the complete arrival stream (sorted virtual send timestamps) in
+  // scaled wall time and blocks until every request is terminal or the drain
+  // deadline passes. Call at most once.
+  void RunTrace(const std::vector<SimTime>& arrivals);
+
+  // Terminal request records (valid after RunTrace returns); same shape the
+  // metrics library analyzes for simulated runs.
+  const std::vector<RequestPtr>& requests() const { return requests_; }
+
+  const PipelineSpec& spec() const { return spec_; }
+  const ServeClock& clock() const { return clock_; }
+  ControlPlane& control() { return control_; }
+  const std::vector<int>& batch_sizes() const { return batch_sizes_; }
+  const std::vector<int>& worker_plan() const { return worker_plan_; }
+
+  // --- Internal transitions (called from module worker threads) -----------
+  void OnModuleDone(const RequestPtr& req, int module_id, SimTime now);
+  void Drop(const RequestPtr& req, int module_id, SimTime now);
+  // Thread-safe read of req.fate (fates flip on other threads' branches).
+  bool IsTerminal(const Request& req) const;
+
+ private:
+  void Inject(SimTime scheduled);
+  // Stops module workers (topo order, so downstream drains what upstream
+  // already forwarded) and the sync thread. With `abandon_backlog` (drain
+  // timeout, mid-run exception) queued requests are discarded instead of
+  // served, bounding shutdown to ~one in-flight batch per worker even under
+  // a drop-free policy. Idempotent; runs on the normal exit path AND before
+  // rethrowing a mid-run exception, so worker threads are never left parked
+  // on a condition variable a destructor would then join forever.
+  void Shutdown(bool abandon_backlog);
+  // Admission front-end + merge bookkeeping + enqueue.
+  void Deliver(const RequestPtr& req, int module_id, SimTime now);
+  void Complete(const RequestPtr& req, SimTime now);
+  void AssignDynamicPathLocked(Request& req);
+  void SyncLoop();
+  // O(1): reads the in-flight counter, so the 2 ms drain poll never scans
+  // the request log under state_mu_ while workers race the deadline.
+  bool AllTerminal() const { return in_flight_.load(std::memory_order_acquire) == 0; }
+
+  PipelineSpec spec_;
+  RuntimeOptions options_;
+  ServeOptions serve_;
+  ServeClock clock_;
+  StateBoard board_;
+  ControlPlane control_;
+  std::vector<int> batch_sizes_;
+  std::vector<int> worker_plan_;
+  // Per-module d(batch) at the planned batch size, cached at construction so
+  // ingress admission never touches the profile registry from worker threads.
+  std::vector<Duration> planned_batch_duration_;
+  std::vector<std::unique_ptr<ServeModule>> modules_;
+
+  // Guards request fate/finish transitions, DAG merge counters, the request
+  // log and the dynamic-path RNG. Never held while taking a module or
+  // control-plane lock.
+  mutable std::mutex state_mu_;
+  Rng rng_;
+  std::vector<RequestPtr> requests_;
+  std::uint64_t next_request_id_ = 1;
+  // Injected-but-not-terminal count; bumped in Inject, dropped on the
+  // fate transition in Drop/Complete (both under state_mu_, but atomic so
+  // the drain loop can read without the lock).
+  std::atomic<std::size_t> in_flight_{0};
+
+  std::atomic<bool> stop_sync_{false};
+  WorkerGroup sync_thread_;
+  bool ran_ = false;
+};
+
+}  // namespace pard
+
+#endif  // PARD_SERVE_SERVE_RUNTIME_H_

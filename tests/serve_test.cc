@@ -1,0 +1,299 @@
+// Tests for the wall-clock serving runtime (src/serve/).
+//
+// Two kinds of assertion live here:
+//   1. Hard invariants — conservation (every injected request ends terminal,
+//      exactly once, with consistent hop records), load-generator
+//      determinism, clock monotonicity. These never depend on timing.
+//   2. A sim-vs-serve validation band — the serving runtime on the fig08
+//      smoke workload (tweet trace, 1.5 s, 40 req/s — the same shape the
+//      smoke_bench_fig08 ctest entry uses) must land within
+//      kGoodputTolerance of the simulator's normalized goodput on the
+//      matched arrival stream. The band is wide (0.25) because the two
+//      substrates legitimately differ: pull-based workers have W ≈ 0 where
+//      the simulator overlaps batch formation with execution, wall-clock
+//      scheduling jitters timestamps, and serve runs are not
+//      bit-deterministic.
+//
+// The whole suite is in the tsan ctest preset: a TSan-clean pass pins the
+// concurrency contracts of ControlPlane, ServeModule and the shared
+// RequestQueue/StateBoard/estimator facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "exec/thread_pool.h"
+#include "harness/experiment.h"
+#include "pipeline/apps.h"
+#include "serve/load_generator.h"
+#include "serve/serve_clock.h"
+#include "serve/serve_options.h"
+#include "serve/serve_runtime.h"
+
+namespace pard {
+namespace {
+
+constexpr double kGoodputTolerance = 0.25;
+
+TEST(ServeClock, AdvancesVirtualTimeAtSpeedup) {
+  ServeClock clock(100.0);
+  clock.Start();
+  const SimTime a = clock.Now();
+  clock.SleepFor(50 * kUsPerMs);  // 0.5 ms wall at 100x.
+  const SimTime b = clock.Now();
+  EXPECT_GE(b - a, 50 * kUsPerMs);
+  // Sleep overshoot exists but stays well under the slept amount's order of
+  // magnitude on any sane scheduler; 100x margin keeps CI-proof.
+  EXPECT_LT(b - a, 5000 * kUsPerMs);
+}
+
+TEST(ServeClock, RejectsNonPositiveSpeedup) {
+  EXPECT_THROW(ServeClock(0.0), CheckError);
+  EXPECT_THROW(ServeClock(-3.0), CheckError);
+}
+
+TEST(LoadGen, PoissonArrivalsAreDeterministicSortedAndRateShaped) {
+  Rng rng_a(123);
+  Rng rng_b(123);
+  const auto a = SynthesizePoissonArrivals(200.0, 0, 10 * kUsPerSec, rng_a);
+  const auto b = SynthesizePoissonArrivals(200.0, 0, 10 * kUsPerSec, rng_b);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  // 2000 expected arrivals; 5 sigma is ~±224.
+  EXPECT_GT(a.size(), 1700u);
+  EXPECT_LT(a.size(), 2300u);
+  EXPECT_GE(a.front(), 0);
+  EXPECT_LT(a.back(), 10 * kUsPerSec);
+}
+
+TEST(LoadGen, MmppArrivalRateLandsBetweenBaseAndBurst) {
+  MmppOptions mmpp;
+  mmpp.base_rate = 50.0;
+  mmpp.burst_rate = 400.0;
+  mmpp.mean_base_s = 4.0;
+  mmpp.mean_burst_s = 2.0;
+  Rng rng(7);
+  const auto arrivals = SynthesizeMmppArrivals(mmpp, 0, 120 * kUsPerSec, rng);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  const double rate = static_cast<double>(arrivals.size()) / 120.0;
+  EXPECT_GT(rate, mmpp.base_rate);
+  EXPECT_LT(rate, mmpp.burst_rate);
+  Rng rng2(7);
+  EXPECT_EQ(arrivals, SynthesizeMmppArrivals(mmpp, 0, 120 * kUsPerSec, rng2));
+}
+
+TEST(LoadGen, ReplaysEveryArrivalInOrder) {
+  ServeClock clock(1000.0);
+  clock.Start();
+  std::vector<SimTime> schedule;
+  for (int i = 0; i < 50; ++i) {
+    schedule.push_back(i * 10 * kUsPerMs);  // 10 ms virtual apart.
+  }
+  std::atomic<int> injected{0};
+  SimTime last = -1;
+  LoadGenerator generator(&clock, schedule, [&](SimTime t) {
+    EXPECT_GT(t, last);
+    last = t;
+    injected.fetch_add(1);
+  });
+  generator.Start();
+  generator.Join();
+  EXPECT_EQ(injected.load(), 50);
+  EXPECT_EQ(generator.LastArrival(), schedule.back());
+}
+
+TEST(WorkerGroup, JoinRethrowsFirstWorkerException) {
+  WorkerGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    group.Spawn([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 2) {
+        throw std::runtime_error("worker died");
+      }
+    });
+  }
+  EXPECT_THROW(group.Join(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_NO_THROW(group.Join());  // Error consumed; re-join is clean.
+}
+
+TEST(ServeRuntime, WorkerPlanRespectsHardThreadCapWithSkewedPlans) {
+  // A skewed fixed plan (many light modules + one heavy) must come out with
+  // sum <= max_total_threads and >= 1 worker per module — the max(1, ...)
+  // floor alone would leave the scaled sum above the cap.
+  const PipelineSpec spec = MakeApp("tm");  // 3 modules.
+  RuntimeOptions options;
+  options.fixed_workers = {1, 1, 100};
+  std::unique_ptr<DropPolicy> policy = MakePolicy("pard", PolicyParams{});
+  ServeOptions serve;
+  serve.max_total_threads = 8;
+  ServeRuntime runtime(spec, options, policy.get(), 50.0, serve);
+  int total = 0;
+  for (int w : runtime.worker_plan()) {
+    EXPECT_GE(w, 1);
+    total += w;
+  }
+  EXPECT_LE(total, serve.max_total_threads);
+}
+
+// Shared serve config: the fig08 smoke workload shape (StdConfig knobs with
+// the smoke-tier PARD_BENCH_DURATION_S=1.5 / PARD_BENCH_BASE_RATE=40
+// override), scaling off so sim and serve provision identically.
+ExperimentConfig Fig08SmokeConfig(const std::string& app, const std::string& policy) {
+  ExperimentConfig config;
+  config.app = app;
+  config.trace = "tweet";
+  config.policy = policy;
+  config.duration_s = 1.5;
+  config.base_rate = 40.0;
+  config.seed = 7;
+  config.provision_factor = 1.25;
+  config.runtime.enable_scaling = false;
+  return config;
+}
+
+TEST(ServeRuntime, ConservesEveryRequestOnAChain) {
+  ExperimentConfig config = Fig08SmokeConfig("tm", "pard");
+  ServeOptions serve;
+  serve.speedup = 25.0;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_NE(result.analysis, nullptr);
+  const RunAnalysis& analysis = *result.analysis;
+  ASSERT_GT(analysis.Total(), 0u);
+  std::size_t good = 0;
+  std::size_t dropped = 0;
+  for (const RequestPtr& req : analysis.requests()) {
+    // Terminal exactly once, finish stamped, fates partition the stream.
+    ASSERT_TRUE(req->Terminal());
+    EXPECT_GE(req->finish, req->sent);
+    if (req->Good()) {
+      ++good;
+      EXPECT_LE(req->finish, req->deadline);
+      // A good request executed every module on its path; on a chain that
+      // is every module.
+      for (const HopRecord& hop : req->hops) {
+        EXPECT_TRUE(hop.executed);
+        EXPECT_GE(hop.batch_entry, hop.arrive);
+        EXPECT_GE(hop.exec_start, hop.batch_entry);
+        EXPECT_GE(hop.exec_end, hop.exec_start);
+      }
+    } else if (req->CountsDropped()) {
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(good + dropped, analysis.Total());
+  EXPECT_EQ(good, analysis.GoodCount());
+}
+
+TEST(ServeRuntime, GoodputWithinToleranceOfSimulatorOnFig08SmokeTrace) {
+  // The acceptance band for the serving prototype: identical arrival stream
+  // (kTrace replays the exact timestamps the simulator injects), identical
+  // provisioning, policy and estimator — substrate is the only variable.
+  ExperimentConfig config = Fig08SmokeConfig("tm", "pard");
+  const ExperimentResult sim = RunExperiment(config);
+  ServeOptions serve;
+  serve.speedup = 10.0;  // Modest speedup keeps wall-clock noise small.
+  const ExperimentResult served = RunServeExperiment(config, serve);
+
+  ASSERT_EQ(sim.analysis->Total(), served.analysis->Total())
+      << "matched replay must inject the identical arrival stream";
+  const double sim_goodput = sim.analysis->NormalizedGoodput();
+  const double serve_goodput = served.analysis->NormalizedGoodput();
+  EXPECT_NEAR(serve_goodput, sim_goodput, kGoodputTolerance)
+      << "serving goodput drifted outside the documented tolerance band";
+}
+
+TEST(ServeRuntime, BaselinePoliciesServeCleanly) {
+  // Clipper++ exercises AdmitAtModule (ingress shedding) and naive the
+  // PurgeExpired=false path — both through the admission front-end.
+  for (const char* policy : {"clipper++", "naive"}) {
+    ExperimentConfig config = Fig08SmokeConfig("tm", policy);
+    ServeOptions serve;
+    serve.speedup = 25.0;
+    const ExperimentResult result = RunServeExperiment(config, serve);
+    ASSERT_GT(result.analysis->Total(), 0u) << policy;
+    for (const RequestPtr& req : result.analysis->requests()) {
+      ASSERT_TRUE(req->Terminal()) << policy;
+    }
+  }
+}
+
+TEST(ServeRuntime, DagMergeAndOverloadUnderContention) {
+  // The TSan stress case: a DAG pipeline (split + merge bookkeeping), MMPP
+  // bursts far beyond capacity, and a high speedup so many workers contend
+  // in little wall time. One worker per module makes the overload
+  // structural — drops are guaranteed by arithmetic (hundreds of req/s into
+  // single-worker modules), not by scheduling luck, so the drop assertion
+  // cannot flake.
+  ExperimentConfig config = Fig08SmokeConfig("da", "pard");
+  config.duration_s = 2.0;
+  config.runtime.fixed_workers = std::vector<int>(5, 1);  // da has 5 modules.
+  ServeOptions serve;
+  serve.speedup = 40.0;
+  serve.arrivals = ServeOptions::Arrivals::kMmpp;
+  serve.mmpp.base_rate = 60.0;
+  serve.mmpp.burst_rate = 800.0;
+  serve.mmpp.mean_base_s = 0.5;
+  serve.mmpp.mean_burst_s = 0.5;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_GT(result.analysis->Total(), 0u);
+  for (const RequestPtr& req : result.analysis->requests()) {
+    ASSERT_TRUE(req->Terminal());
+  }
+  // Under an 800 req/s burst this fleet must shed load, so drops are
+  // guaranteed. Goodput is NOT asserted positive: under TSan's ~10x CPU
+  // slowdown every completion can legitimately miss the SLO, and this test's
+  // job is contention coverage, not throughput.
+  EXPECT_GT(result.analysis->DropRate(), 0.0);
+  // Accounting stays consistent even when everything is shed.
+  const auto share = result.analysis->PerModuleDropShare();
+  double total_share = 0.0;
+  for (double s : share) {
+    total_share += s;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(ServeRuntime, DrainDeadlineBoundsDropFreePolicyUnderOverload) {
+  // The naive policy never drops and never purges expired requests, so under
+  // structural overload the backlog at the drain deadline is large. The run
+  // must end by abandoning it (leftovers swept kLate) rather than serving it
+  // out — RunServeExperiment returning promptly with every request terminal
+  // and a nonzero late share IS the bound.
+  ExperimentConfig config = Fig08SmokeConfig("tm", "naive");
+  config.runtime.fixed_workers = std::vector<int>(3, 1);  // tm has 3 modules.
+  ServeOptions serve;
+  serve.speedup = 40.0;
+  serve.arrivals = ServeOptions::Arrivals::kPoisson;
+  serve.poisson_rate = 500.0;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_GT(result.analysis->Total(), 100u);
+  for (const RequestPtr& req : result.analysis->requests()) {
+    ASSERT_TRUE(req->Terminal());
+  }
+  // Overload + no dropping means abandoned/late requests must exist.
+  EXPECT_GT(result.analysis->DropRate(), 0.0);
+}
+
+TEST(ServeRuntime, DynamicPathsServeTerminalUnderBursts) {
+  ExperimentConfig config = Fig08SmokeConfig("da", "pard");
+  config.runtime.dynamic_paths = true;
+  ServeOptions serve;
+  serve.speedup = 40.0;
+  serve.arrivals = ServeOptions::Arrivals::kPoisson;
+  serve.poisson_rate = 120.0;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_GT(result.analysis->Total(), 0u);
+  for (const RequestPtr& req : result.analysis->requests()) {
+    ASSERT_TRUE(req->Terminal());
+  }
+}
+
+}  // namespace
+}  // namespace pard

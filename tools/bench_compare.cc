@@ -1,0 +1,217 @@
+// bench_compare — CI perf-regression gate over micro_overhead --json output.
+//
+// Diffs a current Google-Benchmark JSON report against a checked-in baseline
+// (bench/BENCH_PR3.json) and fails when any *gated* counter slowed down by
+// more than the threshold:
+//
+//   bench_compare bench/BENCH_PR3.json now.json --threshold 0.30 --report compare.txt
+//
+// Default gates cover the hot-path counters the PR 3 overhaul engineered:
+// event schedule/fire, schedule/cancel, and the warm-epoch broker decision.
+// A gated benchmark missing from the current report is itself a failure
+// (deleting a counter must not silently pass the gate). Exit codes:
+//   0 = all gated counters within threshold
+//   1 = regression (or gated counter missing)
+//   2 = usage / IO / malformed report
+//
+// Perf noise note: CI runners are noisy, which is why the gate compares
+// against the deliberately conservative pre-overhaul baseline with a wide
+// threshold — it catches "accidentally made the broker 2x slower" classes
+// of regression, not single-digit drift. The full comparison table is
+// written to --report for the uploaded artifact.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "jsonio/json.h"
+
+namespace {
+
+struct BenchRow {
+  double cpu_time_ns = 0.0;
+};
+
+double UnitToNs(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw pard::CheckError("unknown time_unit \"" + unit + "\"");
+}
+
+std::string ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  PARD_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+// name -> normalized cpu_time in ns, per-iteration rows only.
+std::map<std::string, BenchRow> LoadReport(const std::string& path) {
+  const pard::JsonValue doc = pard::ParseJson(ReadFile(path));
+  const pard::JsonValue* benchmarks = doc.Find("benchmarks");
+  PARD_CHECK_MSG(benchmarks != nullptr && benchmarks->IsArray(),
+                 path + " has no \"benchmarks\" array (is this --json output?)");
+  std::map<std::string, BenchRow> rows;
+  for (const pard::JsonValue& b : benchmarks->AsArray()) {
+    if (const pard::JsonValue* run_type = b.Find("run_type");
+        run_type != nullptr && run_type->AsString() != "iteration") {
+      continue;  // Skip mean/median/stddev aggregate rows.
+    }
+    BenchRow row;
+    row.cpu_time_ns = b.At("cpu_time").AsDouble() * UnitToNs(b.At("time_unit").AsString());
+    rows[b.At("name").AsString()] = row;
+  }
+  PARD_CHECK_MSG(!rows.empty(), path + " contains no benchmark rows");
+  return rows;
+}
+
+bool IsGated(const std::string& name, const std::vector<std::string>& gates) {
+  for (const std::string& gate : gates) {
+    if (name.find(gate) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pard::FlagSet flags;
+  flags.AddDouble("threshold", 0.30,
+                  "maximum tolerated slowdown of a gated counter (0.30 = +30%)");
+  flags.AddString("gates", "BM_EventScheduleFire,BM_EventScheduleCancel,BM_BrokerDecisionWarmEpoch",
+                  "comma-separated name substrings whose slowdown fails the gate");
+  flags.AddString("report", "", "also write the comparison table to this file");
+  try {
+    flags.Parse(argc - 1, argv + 1);
+  } catch (const pard::CheckError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 flags.Usage("bench_compare <baseline.json> <current.json>").c_str());
+    return 2;
+  }
+  if (flags.HelpRequested() || flags.positional().size() != 2) {
+    std::printf("%s", flags.Usage("bench_compare <baseline.json> <current.json>").c_str());
+    return flags.HelpRequested() ? 0 : 2;
+  }
+  const double threshold = flags.GetDouble("threshold");
+  if (!(threshold > 0.0) || !std::isfinite(threshold)) {
+    std::fprintf(stderr, "--threshold must be a positive number (got %g)\n", threshold);
+    return 2;
+  }
+  std::vector<std::string> gates;
+  for (const std::string& gate : pard::Split(flags.GetString("gates"), ',')) {
+    const std::string trimmed(pard::Trim(gate));
+    if (!trimmed.empty()) {
+      gates.push_back(trimmed);
+    }
+  }
+  if (gates.empty()) {
+    std::fprintf(stderr, "--gates must name at least one counter\n");
+    return 2;
+  }
+
+  std::map<std::string, BenchRow> baseline;
+  std::map<std::string, BenchRow> current;
+  try {
+    baseline = LoadReport(flags.positional()[0]);
+    current = LoadReport(flags.positional()[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  // Every gate must anchor to at least one usable baseline row — a baseline
+  // captured from a truncated run (or with a zero timing) would otherwise
+  // silently stop gating the very counter the gate exists for.
+  for (const std::string& gate : gates) {
+    bool anchored = false;
+    for (const auto& [name, row] : baseline) {
+      if (name.find(gate) != std::string::npos && row.cpu_time_ns > 0.0) {
+        anchored = true;
+        break;
+      }
+    }
+    if (!anchored) {
+      std::fprintf(stderr,
+                   "bench_compare: gate \"%s\" matches no baseline benchmark with a "
+                   "positive cpu_time in %s — refusing to run a vacuous gate\n",
+                   gate.c_str(), flags.positional()[0].c_str());
+      return 2;
+    }
+  }
+
+  std::string table = pard::StrFormat("%-40s %14s %14s %8s  %s\n", "benchmark",
+                                      "baseline(ns)", "current(ns)", "ratio", "verdict");
+  std::vector<std::string> failures;
+  int gated_seen = 0;
+  for (const auto& [name, base_row] : baseline) {
+    const bool gated = IsGated(name, gates);
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      if (gated) {
+        failures.push_back(name + " missing from current report");
+        table += pard::StrFormat("%-40s %14.1f %14s %8s  GATED MISSING\n", name.c_str(),
+                                 base_row.cpu_time_ns, "-", "-");
+      }
+      continue;
+    }
+    const double ratio = base_row.cpu_time_ns > 0.0
+                             ? it->second.cpu_time_ns / base_row.cpu_time_ns
+                             : 0.0;
+    const bool regressed = gated && ratio > 1.0 + threshold;
+    if (gated) {
+      ++gated_seen;
+    }
+    if (regressed) {
+      failures.push_back(pard::StrFormat("%s slowed %.2fx (limit %.2fx)", name.c_str(), ratio,
+                                         1.0 + threshold));
+    }
+    table += pard::StrFormat("%-40s %14.1f %14.1f %8.3f  %s\n", name.c_str(),
+                             base_row.cpu_time_ns, it->second.cpu_time_ns, ratio,
+                             regressed  ? "REGRESSED"
+                             : gated    ? "ok (gated)"
+                                        : "ok");
+  }
+  if (gated_seen == 0 && failures.empty()) {
+    std::fprintf(stderr, "bench_compare: no gated benchmark matched %s\n",
+                 flags.GetString("gates").c_str());
+    return 2;
+  }
+
+  std::string summary;
+  if (failures.empty()) {
+    summary = pard::StrFormat("PASS: %d gated counters within +%.0f%% of baseline\n",
+                              gated_seen, 100.0 * threshold);
+  } else {
+    summary = pard::StrFormat("FAIL: %zu gated regression(s) beyond +%.0f%%:\n",
+                              failures.size(), 100.0 * threshold);
+    for (const std::string& failure : failures) {
+      summary += "  - " + failure + "\n";
+    }
+  }
+  std::printf("%s%s", table.c_str(), summary.c_str());
+  if (!flags.GetString("report").empty()) {
+    FILE* out = std::fopen(flags.GetString("report").c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.GetString("report").c_str());
+      return 2;
+    }
+    std::fwrite(table.data(), 1, table.size(), out);
+    std::fwrite(summary.data(), 1, summary.size(), out);
+    std::fclose(out);
+  }
+  return failures.empty() ? 0 : 1;
+}

@@ -44,13 +44,27 @@ pard::FlagSet BuildFlags() {
   flags.AddDouble("provision", 1.25, "capacity headroom over the mean rate");
   flags.AddDouble("window-s", 5.0, "state-planner sliding window length");
   flags.AddInt("seed", 7, "master random seed");
-  flags.AddInt("jobs", 0, "worker threads for sharded execution (0 = one per hardware thread)");
+  flags.AddInt("jobs", 0,
+               "worker threads for sharded execution (0 = one per hardware thread; "
+               "not meaningful with --serve, which provisions its own module workers)");
   flags.AddInt("shards", 1,
                "time-shard the trace across this many independent runtimes (1 = exact "
                "single-runtime simulation)");
-  flags.AddBool("scaling", true, "enable the resource-scaling engine");
+  flags.AddBool("scaling", true,
+                "enable the resource-scaling engine (forced off in --serve mode: the "
+                "serving fleet is fixed for the run)");
   flags.AddBool("dynamic-paths", false, "requests take one branch per fork (dynamic DAG)");
   flags.AddBool("json", false, "emit a full JSON report instead of text");
+  flags.AddBool("serve", false,
+                "wall-clock serving mode: threaded module workers + open-loop load "
+                "generator instead of the discrete-event simulator");
+  flags.AddDouble("speedup", 20.0,
+                  "serving mode: virtual seconds per wall second (1 = real time)");
+  flags.AddString("arrivals", "trace",
+                  "serving mode load generator: trace (replay --trace), poisson "
+                  "(constant --base-rate), mmpp (bursty, --base-rate/--burst-rate)");
+  flags.AddDouble("burst-rate", 0.0,
+                  "serving mode mmpp burst-state rate, req/s (0 = 4x --base-rate)");
   return flags;
 }
 
@@ -120,10 +134,46 @@ int main(int argc, char** argv) {
   }
   const int jobs = pard::ThreadPool::ResolveJobs(static_cast<int>(jobs_flag));
 
+  const bool serve_mode = flags.GetBool("serve");
+  pard::ServeOptions serve;
+  if (serve_mode) {
+    serve.speedup = flags.GetDouble("speedup");
+    if (!(serve.speedup > 0.0)) {
+      std::fprintf(stderr, "--speedup must be > 0 (got %g)\n", serve.speedup);
+      return 2;
+    }
+    const std::string& arrivals = flags.GetString("arrivals");
+    if (arrivals == "trace") {
+      serve.arrivals = pard::ServeOptions::Arrivals::kTrace;
+    } else if (arrivals == "poisson") {
+      serve.arrivals = pard::ServeOptions::Arrivals::kPoisson;
+      serve.poisson_rate = config.base_rate;
+    } else if (arrivals == "mmpp") {
+      serve.arrivals = pard::ServeOptions::Arrivals::kMmpp;
+      serve.mmpp.base_rate = config.base_rate;
+      const double burst = flags.GetDouble("burst-rate");
+      serve.mmpp.burst_rate = burst > 0.0 ? burst : 4.0 * config.base_rate;
+    } else {
+      std::fprintf(stderr, "--arrivals must be trace | poisson | mmpp (got %s)\n",
+                   arrivals.c_str());
+      return 2;
+    }
+    if (shards > 1) {
+      std::fprintf(stderr, "--serve and --shards are mutually exclusive\n");
+      return 2;
+    }
+    if (jobs_flag > 0) {
+      std::fprintf(stderr,
+                   "note: --jobs has no effect with --serve (module workers are "
+                   "provisioned from the workload)\n");
+    }
+  }
+
   pard::ExperimentResult result;
   try {
-    result = shards > 1 ? pard::RunShardedExperiment(config, shards, jobs)
-                        : pard::RunExperiment(config);
+    result = serve_mode ? pard::RunServeExperiment(config, serve)
+             : shards > 1 ? pard::RunShardedExperiment(config, shards, jobs)
+                          : pard::RunExperiment(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "experiment failed: %s\n", e.what());
     return 1;
@@ -142,6 +192,11 @@ int main(int argc, char** argv) {
               config.base_rate);
   if (shards > 1) {
     std::printf(", %d shards on %d jobs", shards, jobs);
+  }
+  if (serve_mode) {
+    std::printf(", serving live (%s arrivals, speedup %gx; wall-clock timing — "
+                "numbers vary run to run)",
+                flags.GetString("arrivals").c_str(), serve.speedup);
   }
   std::printf("\n");
   std::printf("goodput        %10.1f req/s  (normalized %.3f)\n", a.MeanGoodput(),
