@@ -22,8 +22,9 @@ EmpiricalDistribution LatencyEstimator::AggregateWaitDistribution(const std::vec
   for (int id : path) {
     const ModuleState& state = board_->Get(id);
     if (state.wait_samples.empty()) {
-      // Uniform [0, d_i] fallback (the Fig. 3b model).
-      const double d = static_cast<double>(state.batch_duration);
+      // Uniform [0, d_i] fallback (the Fig. 3b model), at the fleet's
+      // effective duration — a half-speed fleet waits twice as long.
+      const double d = static_cast<double>(EffectiveBatchDuration(state));
       for (double& s : sums) {
         s += rng_.Uniform(0.0, d);
       }
@@ -71,7 +72,7 @@ Duration LatencyEstimator::ComputeWaitQuantile(const std::vector<int>& path, dou
     case EstimatorOptions::WaitMode::kUpper: {
       Duration total = 0;
       for (int id : path) {
-        total += board_->Get(id).batch_duration;
+        total += EffectiveBatchDuration(board_->Get(id));
       }
       return total;
     }
@@ -90,8 +91,11 @@ Duration LatencyEstimator::EstimatePath(const std::vector<int>& path) {
     }
   }
   if (options_.include_exec) {
+    // d_i at the fleet's effective service rate: the profiled duration
+    // stretched by the module's mean active backend speed (exactly the
+    // profiled table for a homogeneous grade-1.0 fleet).
     for (int id : path) {
-      estimate += board_->Get(id).batch_duration;
+      estimate += EffectiveBatchDuration(board_->Get(id));
     }
   }
   if (options_.include_wait) {

@@ -9,7 +9,18 @@
 //
 // where q_i are the synchronized recent queueing delays, d_i the profiled
 // durations at the synchronized batch sizes, and w_k = F^-1_{k+1..N}(lambda)
-// the "sweet spot" quantile of the aggregated batch-wait distribution. The
+// the "sweet spot" quantile of the aggregated batch-wait distribution.
+//
+// Heterogeneous fleets: the estimator reasons against each module's
+// *effective* service rate rather than `workers × uniform profile`. Every
+// d_i term (the exec sum, the PARD-upper bound, and the uniform [0, d]
+// wait fallback) uses EffectiveBatchDuration(state) — the profiled duration
+// stretched by the fleet's mean active backend speed as published by the
+// BackendFleet through ModuleState::mean_speed — and the per-module wait
+// reservoirs already observe the true heterogeneous waits empirically. A
+// homogeneous grade-1.0 fleet publishes mean_speed == 1.0 exactly, keeping
+// estimates (and the Monte-Carlo RNG sequence) bit-identical to the
+// pre-heterogeneity kernel. The
 // distribution is built by Monte-Carlo over each module's recent-wait
 // reservoir (the paper keeps M = 10 000 samples per module; see
 // RuntimeOptions::reservoir_capacity), falling back to the uniform [0, d_i]

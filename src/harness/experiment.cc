@@ -121,12 +121,12 @@ ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeO
   PARD_CHECK_MSG(!arrivals.empty(), "serve workload produced no arrivals");
 
   std::unique_ptr<DropPolicy> policy = BuildPolicy(config, config.seed);
-  RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
-  runtime.enable_scaling = false;  // Fixed worker fleet in serving mode.
+  const RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
 
   ServeRuntime server(result.spec, runtime, policy.get(), result.mean_input_rate, serve);
   server.RunTrace(arrivals);
 
+  result.worker_history = server.worker_history();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }

@@ -98,9 +98,12 @@ ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards
 // construction, and the same metrics records/analysis — but module workers
 // are real threads fed by an open-loop load generator, so the run takes
 // duration_s / serve.speedup of wall time and numbers vary run to run.
-// Scaling and failure injection are not modeled in serving mode (the
-// harness forces enable_scaling off); transitions/worker_history stay empty
-// except the PARD transition log, which is collected after the run.
+// runtime.enable_scaling runs the live scaling engine (scale-ups are real
+// threads after their backend's cold start, capped at
+// serve.max_total_threads) and populates worker_history with the per-epoch
+// fleet; runtime.failures / runtime.fleet_events apply the deterministic
+// kill/recover schedule mid-run. The PARD transition log is collected after
+// the run, as in the simulator.
 ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeOptions& serve);
 
 // Replicated runs: the same experiment across `replicas` seeds

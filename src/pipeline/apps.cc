@@ -85,6 +85,23 @@ PipelineSpec MakeDagLiveVideo() {
   return PipelineSpec("da", MsToUs(420), {person, pose, face, expression, eye});
 }
 
+PipelineSpec MakeHeteroLiveVideo() {
+  PipelineSpec lv = MakeLiveVideo();
+  // A mixed fleet: full-speed baseline cards round-robined with half-speed
+  // ones that load models slowly and are disproportionately bad at face
+  // recognition — the GoodServe-style heterogeneity regime.
+  BackendProfile fast;
+  fast.name = "a100";
+  BackendProfile slow;
+  slow.name = "t4";
+  slow.speed_grade = 0.5;
+  slow.cold_start = 4 * kUsPerSec;
+  slow.module_scale = {{"face_recognition", 1.25}};
+  PipelineSpec spec("lvhet", lv.slo(), lv.modules());
+  spec.set_backends({fast, slow});
+  return spec;
+}
+
 PipelineSpec MakeApp(const std::string& name) {
   if (name == "tm") {
     return MakeTrafficMonitoring();
@@ -97,6 +114,9 @@ PipelineSpec MakeApp(const std::string& name) {
   }
   if (name == "da") {
     return MakeDagLiveVideo();
+  }
+  if (name == "lvhet") {
+    return MakeHeteroLiveVideo();
   }
   PARD_CHECK_MSG(false, "unknown app: " << name);
 }

@@ -4,6 +4,10 @@
 //   gm — game analysis, 5-module chain, SLO 600 ms
 //   da — DAG-style live video: person detection fans out to pose + face
 //        branches that merge in expression recognition, SLO 420 ms
+// plus one heterogeneous-fleet extension:
+//   lvhet — the lv pipeline on a mixed backend catalog (full-speed cards
+//        interleaved with half-speed ones that are additionally bad at
+//        face recognition and slower to cold-start)
 #ifndef PARD_PIPELINE_APPS_H_
 #define PARD_PIPELINE_APPS_H_
 
@@ -18,8 +22,9 @@ PipelineSpec MakeTrafficMonitoring();
 PipelineSpec MakeLiveVideo();
 PipelineSpec MakeGameAnalysis();
 PipelineSpec MakeDagLiveVideo();
+PipelineSpec MakeHeteroLiveVideo();
 
-// Dispatch by the paper's short name: "tm" | "lv" | "gm" | "da".
+// Dispatch by the paper's short name: "tm" | "lv" | "gm" | "da" | "lvhet".
 PipelineSpec MakeApp(const std::string& name);
 
 // All four app names in paper order.

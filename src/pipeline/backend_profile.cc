@@ -1,0 +1,104 @@
+#include "pipeline/backend_profile.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace pard {
+
+double BackendProfile::ExecScaleFor(const std::string& model) const {
+  double scale = 1.0 / speed_grade;
+  const auto it = module_scale.find(model);
+  if (it != module_scale.end()) {
+    scale *= it->second;
+  }
+  return scale;
+}
+
+bool BackendProfile::IsBaseline() const {
+  return speed_grade == 1.0 && cold_start < 0 && module_scale.empty();
+}
+
+void BackendProfile::Validate() const {
+  PARD_CHECK_MSG(std::isfinite(speed_grade) && speed_grade > 0.0,
+                 "backend profile \"" << name << "\" has non-positive speed_grade "
+                                      << speed_grade);
+  for (const auto& [model, scale] : module_scale) {
+    PARD_CHECK_MSG(std::isfinite(scale) && scale > 0.0,
+                   "backend profile \"" << name << "\" has non-positive module_scale for \""
+                                        << model << "\"");
+  }
+}
+
+JsonValue BackendProfile::ToJson() const {
+  JsonObject obj;
+  obj["name"] = name;
+  obj["speed_grade"] = speed_grade;
+  if (cold_start >= 0) {
+    obj["cold_start_ms"] = UsToMs(cold_start);
+  }
+  if (!module_scale.empty()) {
+    JsonObject scales;
+    for (const auto& [model, scale] : module_scale) {
+      scales[model] = scale;
+    }
+    obj["module_scale"] = std::move(scales);
+  }
+  return JsonValue(std::move(obj));
+}
+
+BackendProfile BackendProfile::FromJson(const JsonValue& v) {
+  BackendProfile profile;
+  // Reject unknown fields up front: a typo'd "speed_grad" must fail the
+  // load, not silently run the homogeneous default.
+  for (const auto& [key, value] : v.AsObject()) {
+    (void)value;
+    if (key != "name" && key != "speed_grade" && key != "cold_start_ms" &&
+        key != "module_scale") {
+      throw JsonError("unknown backend-profile field \"" + key +
+                      "\" (supported: name, speed_grade, cold_start_ms, module_scale)");
+    }
+  }
+  if (const JsonValue* name = v.Find("name")) {
+    profile.name = name->AsString();
+  }
+  if (const JsonValue* grade = v.Find("speed_grade")) {
+    profile.speed_grade = grade->AsDouble();
+  }
+  if (const JsonValue* cold = v.Find("cold_start_ms")) {
+    profile.cold_start = MsToUs(cold->AsDouble());
+  }
+  if (const JsonValue* scales = v.Find("module_scale")) {
+    for (const auto& [model, scale] : scales->AsObject()) {
+      profile.module_scale[model] = scale.AsDouble();
+    }
+  }
+  profile.Validate();
+  return profile;
+}
+
+std::vector<BackendProfile> ParseBackendGrades(const std::string& text) {
+  std::vector<BackendProfile> catalog;
+  int index = 0;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string trimmed(Trim(part));
+    if (trimmed.empty()) {
+      continue;
+    }
+    char* end = nullptr;
+    const double grade = std::strtod(trimmed.c_str(), &end);
+    PARD_CHECK_MSG(end != trimmed.c_str() && *end == '\0' && std::isfinite(grade) && grade > 0.0,
+                   "invalid backend grade \"" << trimmed
+                                              << "\" (expected a positive number)");
+    BackendProfile profile;
+    profile.name = "grade" + std::to_string(index++);
+    profile.speed_grade = grade;
+    profile.Validate();
+    catalog.push_back(std::move(profile));
+  }
+  PARD_CHECK_MSG(!catalog.empty(), "backend grade list \"" << text << "\" names no grades");
+  return catalog;
+}
+
+}  // namespace pard

@@ -1,0 +1,82 @@
+// Backend profile: the resource description of one GPU/accelerator class.
+//
+// PARD's goodput argument rests on the broker knowing each module's
+// effective service capacity. Real fleets are heterogeneous — a module's
+// workers may span A100s and T4s, and a slow card is not uniformly slow
+// across models — so a pipeline spec can carry a *catalog* of backend
+// profiles. The fleet layer (runtime/backend_fleet.h) assigns catalog
+// entries to worker slots round-robin, and every capacity-facing quantity
+// (execution duration, per-worker throughput units, cold-start delay)
+// flows from the assigned profile:
+//
+//   effective d(b)  = d(b) * module_scale[model] / speed_grade
+//   capacity units  = speed_grade / module_scale[model]  (1.0 = baseline)
+//
+// An empty catalog means the historical homogeneous fleet: every worker is
+// the baseline grade-1.0 profile, and both substrates behave bit-identically
+// to the pre-heterogeneity kernel.
+#ifndef PARD_PIPELINE_BACKEND_PROFILE_H_
+#define PARD_PIPELINE_BACKEND_PROFILE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+#include "jsonio/json.h"
+
+namespace pard {
+
+struct BackendProfile {
+  // Catalog label ("a100", "t4", ...). Purely descriptive.
+  std::string name = "default";
+
+  // Relative execution speed: profiled batch durations divide by this.
+  // 1.0 is the baseline grade the offline profiles were measured on;
+  // 0.5 executes every batch twice as slowly. Must be positive.
+  double speed_grade = 1.0;
+
+  // Cold-start (model load) delay for workers of this class; negative
+  // inherits RuntimeOptions::cold_start. A beefier card often loads faster,
+  // a colder tier slower — scale-up latency is a per-backend property.
+  Duration cold_start = -1;
+
+  // Optional per-module latency scale: model name -> extra duration
+  // multiplier on top of the grade (a card can be disproportionately bad at
+  // one model class). Keys must name models that exist in the pipeline;
+  // values must be positive.
+  std::map<std::string, double> module_scale;
+
+  // Combined duration multiplier for `model` on this backend
+  // (module_scale / speed_grade); 1.0 for the baseline profile.
+  double ExecScaleFor(const std::string& model) const;
+
+  // True for the implicit homogeneous profile: grade 1.0, inherited
+  // cold-start, no per-module scales. A catalog of baseline profiles is
+  // behaviourally identical to no catalog at all.
+  bool IsBaseline() const;
+
+  // Throws CheckError on non-positive grade/scales.
+  void Validate() const;
+
+  JsonValue ToJson() const;
+  // Strict: an unknown field in the JSON object (e.g. a typo'd
+  // "speed_grad") throws JsonError instead of being silently ignored —
+  // same discipline as the PARD_BENCH_* env rejection in bench_util.h.
+  static BackendProfile FromJson(const JsonValue& v);
+
+  bool operator==(const BackendProfile& other) const {
+    return name == other.name && speed_grade == other.speed_grade &&
+           cold_start == other.cold_start && module_scale == other.module_scale;
+  }
+  bool operator!=(const BackendProfile& other) const { return !(*this == other); }
+};
+
+// Parses a comma-separated grade list ("1.0,0.5,0.25" — the pardsim
+// --backend-grades format) into a catalog of profiles named "grade<i>".
+// Throws CheckError on malformed or non-positive entries.
+std::vector<BackendProfile> ParseBackendGrades(const std::string& text);
+
+}  // namespace pard
+
+#endif  // PARD_PIPELINE_BACKEND_PROFILE_H_

@@ -8,10 +8,36 @@
 
 namespace pard {
 
-PipelineSpec::PipelineSpec(std::string app_name, Duration slo, std::vector<ModuleSpec> modules)
-    : app_name_(std::move(app_name)), slo_(slo), modules_(std::move(modules)) {
+PipelineSpec::PipelineSpec(std::string app_name, Duration slo, std::vector<ModuleSpec> modules,
+                           std::vector<BackendProfile> backends)
+    : app_name_(std::move(app_name)),
+      slo_(slo),
+      modules_(std::move(modules)),
+      backends_(std::move(backends)) {
   Validate();
+  ValidateBackends();
   BuildPaths();
+}
+
+void PipelineSpec::set_backends(std::vector<BackendProfile> backends) {
+  backends_ = std::move(backends);
+  ValidateBackends();
+}
+
+void PipelineSpec::ValidateBackends() const {
+  for (const BackendProfile& profile : backends_) {
+    profile.Validate();
+    for (const auto& [model, scale] : profile.module_scale) {
+      (void)scale;
+      bool known = false;
+      for (const ModuleSpec& m : modules_) {
+        known = known || m.model == model;
+      }
+      PARD_CHECK_MSG(known, "backend profile \"" << profile.name
+                                                 << "\" scales unknown model \"" << model
+                                                 << "\" (not in this pipeline)");
+    }
+  }
 }
 
 const ModuleSpec& PipelineSpec::Module(int id) const {
@@ -162,6 +188,13 @@ JsonValue PipelineSpec::ToJson() const {
   obj["app"] = app_name_;
   obj["slo_ms"] = UsToMs(slo_);
   obj["modules"] = std::move(modules);
+  if (!backends_.empty()) {
+    JsonArray backends;
+    for (const BackendProfile& profile : backends_) {
+      backends.push_back(profile.ToJson());
+    }
+    obj["backends"] = std::move(backends);
+  }
   return JsonValue(std::move(obj));
 }
 
@@ -182,8 +215,14 @@ PipelineSpec PipelineSpec::FromJson(const JsonValue& v) {
   // Modules may appear in any order in the file; sort by id.
   std::sort(modules.begin(), modules.end(),
             [](const ModuleSpec& a, const ModuleSpec& b) { return a.id < b.id; });
+  std::vector<BackendProfile> backends;
+  if (const JsonValue* bv = v.Find("backends")) {
+    for (const JsonValue& profile : bv->AsArray()) {
+      backends.push_back(BackendProfile::FromJson(profile));
+    }
+  }
   return PipelineSpec(v.At("app").AsString(), MsToUs(v.At("slo_ms").AsDouble()),
-                      std::move(modules));
+                      std::move(modules), std::move(backends));
 }
 
 PipelineSpec PipelineSpec::FromJsonText(const std::string& text) {

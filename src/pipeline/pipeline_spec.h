@@ -13,6 +13,7 @@
 
 #include "common/time_types.h"
 #include "jsonio/json.h"
+#include "pipeline/backend_profile.h"
 
 namespace pard {
 
@@ -29,11 +30,20 @@ struct ModuleSpec {
 class PipelineSpec {
  public:
   PipelineSpec() = default;
-  PipelineSpec(std::string app_name, Duration slo, std::vector<ModuleSpec> modules);
+  PipelineSpec(std::string app_name, Duration slo, std::vector<ModuleSpec> modules,
+               std::vector<BackendProfile> backends = {});
 
   const std::string& app_name() const { return app_name_; }
   Duration slo() const { return slo_; }
   void set_slo(Duration slo) { slo_ = slo; }
+
+  // Backend catalog for the worker fleet (see backend_profile.h). Empty
+  // means the homogeneous baseline fleet; otherwise the fleet layer assigns
+  // catalog entries to worker slots round-robin per module.
+  const std::vector<BackendProfile>& backends() const { return backends_; }
+  // Replaces the catalog; validates grades/scales and that every
+  // module_scale key names a model present in this pipeline.
+  void set_backends(std::vector<BackendProfile> backends);
   int NumModules() const { return static_cast<int>(modules_.size()); }
   const ModuleSpec& Module(int id) const;
   const std::vector<ModuleSpec>& modules() const { return modules_; }
@@ -64,10 +74,12 @@ class PipelineSpec {
 
  private:
   void BuildPaths();
+  void ValidateBackends() const;
 
   std::string app_name_;
   Duration slo_ = 0;
   std::vector<ModuleSpec> modules_;
+  std::vector<BackendProfile> backends_;
   std::vector<std::vector<std::vector<int>>> downstream_paths_;
 };
 

@@ -1,0 +1,260 @@
+#include "runtime/backend_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace pard {
+
+const char* BackendStateName(BackendState s) {
+  switch (s) {
+    case BackendState::kColdStarting:
+      return "cold-starting";
+    case BackendState::kActive:
+      return "active";
+    case BackendState::kDraining:
+      return "draining";
+    case BackendState::kRetired:
+      return "retired";
+    case BackendState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+BackendFleet::BackendFleet(const PipelineSpec& spec, Duration default_cold_start) {
+  catalog_ = spec.backends();
+  if (catalog_.empty()) {
+    catalog_.push_back(BackendProfile{});  // Homogeneous baseline fleet.
+  }
+  cold_starts_.reserve(catalog_.size());
+  for (const BackendProfile& profile : catalog_) {
+    profile.Validate();
+    cold_starts_.push_back(profile.cold_start >= 0 ? profile.cold_start : default_cold_start);
+  }
+  const int n = spec.NumModules();
+  exec_scales_.resize(static_cast<std::size_t>(n));
+  rosters_.resize(static_cast<std::size_t>(n));
+  for (const ModuleSpec& m : spec.modules()) {
+    auto& scales = exec_scales_[static_cast<std::size_t>(m.id)];
+    scales.reserve(catalog_.size());
+    for (const BackendProfile& profile : catalog_) {
+      scales.push_back(profile.ExecScaleFor(m.model));
+    }
+  }
+}
+
+BackendSlot BackendFleet::Provision(int module_id, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  auto& roster = rosters_[static_cast<std::size_t>(module_id)];
+  Entry entry;
+  entry.slot.module_id = module_id;
+  entry.slot.worker_id = static_cast<int>(roster.size());
+  entry.slot.profile_index = entry.slot.worker_id % static_cast<int>(catalog_.size());
+  const double scale = exec_scales_[static_cast<std::size_t>(module_id)]
+                                   [static_cast<std::size_t>(entry.slot.profile_index)];
+  entry.slot.exec_scale = scale;
+  entry.slot.speed = 1.0 / scale;
+  entry.slot.cold_start = cold_starts_[static_cast<std::size_t>(entry.slot.profile_index)];
+  entry.state = BackendState::kColdStarting;
+  transitions_.push_back(
+      FleetTransition{now, module_id, entry.slot.worker_id, BackendState::kColdStarting});
+  roster.push_back(entry);
+  return roster.back().slot;
+}
+
+BackendFleet::Entry& BackendFleet::Find(int module_id, int worker_id) {
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  auto& roster = rosters_[static_cast<std::size_t>(module_id)];
+  PARD_CHECK_MSG(worker_id >= 0 && worker_id < static_cast<int>(roster.size()),
+                 "module " << module_id << " has no worker slot " << worker_id);
+  return roster[static_cast<std::size_t>(worker_id)];
+}
+
+const BackendFleet::Entry& BackendFleet::Find(int module_id, int worker_id) const {
+  return const_cast<BackendFleet*>(this)->Find(module_id, worker_id);
+}
+
+void BackendFleet::SetState(int module_id, int worker_id, BackendState to, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = Find(module_id, worker_id);
+  if (entry.state == to) {
+    return;
+  }
+  // Terminal states are sticky: a failed worker cannot drain or re-activate.
+  PARD_CHECK_MSG(entry.state != BackendState::kFailed && entry.state != BackendState::kRetired,
+                 "worker " << worker_id << " of module " << module_id << " is already "
+                           << BackendStateName(entry.state) << "; cannot become "
+                           << BackendStateName(to));
+  entry.state = to;
+  transitions_.push_back(FleetTransition{now, module_id, worker_id, to});
+}
+
+BackendState BackendFleet::State(int module_id, int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Find(module_id, worker_id).state;
+}
+
+BackendSlot BackendFleet::Slot(int module_id, int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Find(module_id, worker_id).slot;
+}
+
+int BackendFleet::ActiveCount(int module_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  int n = 0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    n += e.state == BackendState::kActive ? 1 : 0;
+  }
+  return n;
+}
+
+int BackendFleet::ProvisionedCount(int module_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  int n = 0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    n += (e.state == BackendState::kActive || e.state == BackendState::kColdStarting) ? 1 : 0;
+  }
+  return n;
+}
+
+int BackendFleet::TotalProvisioned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& roster : rosters_) {
+    for (const Entry& e : roster) {
+      n += (e.state == BackendState::kActive || e.state == BackendState::kColdStarting) ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+double BackendFleet::ActiveUnits(int module_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  double units = 0.0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    if (e.state == BackendState::kActive) {
+      units += e.slot.speed;
+    }
+  }
+  return units;
+}
+
+double BackendFleet::ProvisionedUnits(int module_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  double units = 0.0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    if (e.state == BackendState::kActive || e.state == BackendState::kColdStarting) {
+      units += e.slot.speed;
+    }
+  }
+  return units;
+}
+
+double BackendFleet::MeanActiveSpeed(int module_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  double units = 0.0;
+  int count = 0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    if (e.state == BackendState::kActive) {
+      units += e.slot.speed;
+      ++count;
+    }
+  }
+  return count > 0 ? units / static_cast<double>(count) : 1.0;
+}
+
+std::vector<int> BackendFleet::WorkersInState(int module_id, BackendState state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  std::vector<int> ids;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    if (e.state == state) {
+      ids.push_back(e.slot.worker_id);
+    }
+  }
+  return ids;
+}
+
+double BackendFleet::PublishCapacity(int module_id, double per_worker_throughput,
+                                     ModuleState& state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PARD_CHECK(module_id >= 0 && module_id < static_cast<int>(rosters_.size()));
+  int active = 0;
+  double units = 0.0;
+  for (const Entry& e : rosters_[static_cast<std::size_t>(module_id)]) {
+    if (e.state == BackendState::kActive) {
+      ++active;
+      units += e.slot.speed;
+    }
+  }
+  state.num_workers = std::max(1, active);
+  // The no-active floor mirrors the historical max(1, active) worker floor.
+  state.effective_units = active > 0 ? units : static_cast<double>(state.num_workers);
+  state.mean_speed = state.effective_units / static_cast<double>(state.num_workers);
+  state.per_worker_throughput = per_worker_throughput;
+  return per_worker_throughput * state.effective_units;
+}
+
+const BackendProfile& BackendFleet::Profile(int index) const {
+  PARD_CHECK(index >= 0 && index < CatalogSize());
+  return catalog_[static_cast<std::size_t>(index)];
+}
+
+std::vector<FleetTransition> BackendFleet::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+std::vector<FleetEvent> ParseFaultSchedule(const std::string& text) {
+  std::vector<FleetEvent> events;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string entry(Trim(part));
+    if (entry.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = Split(entry, ':');
+    PARD_CHECK_MSG(fields.size() == 4, "fault event \"" << entry
+                                                        << "\" is not <at_s>:<module>:<kill|add>:<count>");
+    FleetEvent event;
+    char* end = nullptr;
+    const double at_s = std::strtod(fields[0].c_str(), &end);
+    PARD_CHECK_MSG(end != fields[0].c_str() && *end == '\0' && std::isfinite(at_s) && at_s >= 0.0,
+                   "fault event \"" << entry << "\" has an invalid time \"" << fields[0] << "\"");
+    event.at = SecToUs(at_s);
+    const long module_id = std::strtol(fields[1].c_str(), &end, 10);
+    PARD_CHECK_MSG(end != fields[1].c_str() && *end == '\0' && module_id >= 0,
+                   "fault event \"" << entry << "\" has an invalid module \"" << fields[1]
+                                    << "\"");
+    event.module_id = static_cast<int>(module_id);
+    if (fields[2] == "kill") {
+      event.kind = FleetEvent::Kind::kKill;
+    } else if (fields[2] == "add") {
+      event.kind = FleetEvent::Kind::kAdd;
+    } else {
+      PARD_CHECK_MSG(false, "fault event \"" << entry << "\" has an unknown kind \"" << fields[2]
+                                             << "\" (expected kill or add)");
+    }
+    const long count = std::strtol(fields[3].c_str(), &end, 10);
+    PARD_CHECK_MSG(end != fields[3].c_str() && *end == '\0' && count >= 1 && count <= 4096,
+                   "fault event \"" << entry << "\" has an invalid count \"" << fields[3]
+                                    << "\"");
+    event.count = static_cast<int>(count);
+    events.push_back(event);
+  }
+  PARD_CHECK_MSG(!events.empty(), "fault schedule \"" << text << "\" names no events");
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) { return a.at < b.at; });
+  return events;
+}
+
+}  // namespace pard

@@ -8,11 +8,13 @@
 
 namespace pard {
 
-ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const ModuleSpec& spec,
-                             const ModelProfile& profile, int batch_size, int initial_workers,
-                             const RuntimeOptions& options, DropPolicy* policy)
+ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, BackendFleet* fleet,
+                             const ModuleSpec& spec, const ModelProfile& profile, int batch_size,
+                             int initial_workers, const RuntimeOptions& options,
+                             DropPolicy* policy)
     : sim_(sim),
       pipeline_(pipeline),
+      fleet_(fleet),
       spec_(spec),
       profile_(profile),
       batch_size_(batch_size),
@@ -25,35 +27,23 @@ ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const M
       rate_monitor_(options.stats_window) {
   PARD_CHECK(batch_size_ >= 1);
   PARD_CHECK(initial_workers >= 1);
+  PARD_CHECK(fleet_ != nullptr);
   for (int i = 0; i < initial_workers; ++i) {
-    auto worker = std::make_shared<Worker>(sim_, this, next_worker_id_++);
+    auto worker =
+        std::make_shared<Worker>(sim_, this, fleet_, fleet_->Provision(spec_.id, sim_->Now()));
     worker->Activate();  // Initial fleet starts warm.
     workers_.push_back(std::move(worker));
   }
 }
 
-int ModuleRuntime::ActiveWorkers() const {
-  int n = 0;
-  for (const auto& w : workers_) {
-    if (w->state() == Worker::State::kActive) {
-      ++n;
-    }
-  }
-  return n;
-}
+int ModuleRuntime::ActiveWorkers() const { return fleet_->ActiveCount(spec_.id); }
 
-int ModuleRuntime::ProvisionedWorkers() const {
-  int n = 0;
-  for (const auto& w : workers_) {
-    if (w->state() == Worker::State::kActive || w->state() == Worker::State::kColdStarting) {
-      ++n;
-    }
-  }
-  return n;
-}
+int ModuleRuntime::ProvisionedWorkers() const { return fleet_->ProvisionedCount(spec_.id); }
 
-Duration ModuleRuntime::SampleExecDuration(int batch) {
-  const Duration d = profile_.BatchDuration(batch);
+double ModuleRuntime::ProvisionedUnits() const { return fleet_->ProvisionedUnits(spec_.id); }
+
+Duration ModuleRuntime::SampleExecDuration(int batch, double exec_scale) {
+  const Duration d = ScaleBatchDuration(profile_.BatchDuration(batch), exec_scale);
   if (options_.exec_jitter <= 0.0) {
     return d;
   }
@@ -133,11 +123,9 @@ void ModuleRuntime::Sync(SimTime now, StateBoard* board) {
       now, static_cast<double>(profile_.BatchDuration(batch_size_)));
   state.batch_size = batch_size_;
   state.batch_duration = profile_.BatchDuration(batch_size_);
-  state.num_workers = std::max(1, ActiveWorkers());
-  state.per_worker_throughput = PerWorkerThroughput();
+  const double capacity = fleet_->PublishCapacity(spec_.id, PerWorkerThroughput(), state);
   state.input_rate = rate_monitor_.Raw(now);
   state.smoothed_rate = rate_monitor_.Smoothed(now);
-  const double capacity = state.per_worker_throughput * state.num_workers;
   state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
   state.burstiness = rate_monitor_.Burstiness(now);
   state.wait_samples = wait_reservoir_.values();
@@ -145,29 +133,52 @@ void ModuleRuntime::Sync(SimTime now, StateBoard* board) {
   board->Publish(std::move(state));
 }
 
-void ModuleRuntime::SetTargetWorkers(int target) {
-  target = std::clamp(target, 1, options_.max_workers_per_module);
+double ModuleRuntime::ProvisionColdWorker() {
+  const BackendSlot slot = fleet_->Provision(spec_.id, sim_->Now());
+  auto worker = std::make_shared<Worker>(sim_, this, fleet_, slot);
+  std::weak_ptr<Worker> weak = worker;
+  workers_.push_back(std::move(worker));
+  // Model cold start: the worker accepts traffic only after the delay (the
+  // slot's backend profile decides how long the model load takes).
+  sim_->ScheduleAfter(slot.cold_start, [weak] {
+    if (auto w = weak.lock(); w != nullptr && w->state() == Worker::State::kColdStarting) {
+      w->Activate();
+    }
+  });
+  return slot.speed;
+}
+
+void ModuleRuntime::SetTargetUnits(double target_units) {
+  target_units =
+      std::clamp(target_units, 1.0, static_cast<double>(options_.max_workers_per_module));
   ReapRetired();
-  int provisioned = ProvisionedWorkers();
-  while (provisioned < target) {
-    auto worker = std::make_shared<Worker>(sim_, this, next_worker_id_++);
-    std::weak_ptr<Worker> weak = worker;
-    workers_.push_back(std::move(worker));
-    // Model cold start: the worker accepts traffic only after the delay.
-    sim_->ScheduleAfter(options_.cold_start, [weak] {
-      if (auto w = weak.lock(); w != nullptr && w->state() == Worker::State::kColdStarting) {
-        w->Activate();
-      }
-    });
-    ++provisioned;
+  double provisioned = ProvisionedUnits();
+  // The per-module worker cap bounds the roster even when slow backends
+  // contribute less than one unit each.
+  while (provisioned < target_units && ProvisionedWorkers() < options_.max_workers_per_module) {
+    provisioned += ProvisionColdWorker();
   }
-  // Drain the highest-id (most recently added) workers first.
-  for (auto it = workers_.rbegin(); it != workers_.rend() && provisioned > target; ++it) {
+  // Drain the highest-id (most recently added) workers first, as long as
+  // the remaining capacity still covers the target.
+  for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
     if ((*it)->state() == Worker::State::kActive ||
         (*it)->state() == Worker::State::kColdStarting) {
+      const double speed = (*it)->slot().speed;
+      if (provisioned - speed < target_units) {
+        continue;
+      }
       (*it)->BeginDraining();
-      --provisioned;
+      provisioned -= speed;
     }
+  }
+}
+
+void ModuleRuntime::AddWorkers(int count) {
+  ReapRetired();
+  // The per-module cap binds recovery events exactly like scaling.
+  count = std::min(count, options_.max_workers_per_module - ProvisionedWorkers());
+  for (int i = 0; i < count; ++i) {
+    ProvisionColdWorker();
   }
 }
 

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "models/model_profile.h"
 #include "pipeline/pipeline_spec.h"
+#include "runtime/backend_fleet.h"
 #include "runtime/drop_policy.h"
 #include "runtime/rate_monitor.h"
 #include "runtime/request.h"
@@ -30,9 +31,9 @@ class PipelineRuntime;
 
 class ModuleRuntime {
  public:
-  ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, const ModuleSpec& spec,
-                const ModelProfile& profile, int batch_size, int initial_workers,
-                const RuntimeOptions& options, DropPolicy* policy);
+  ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, BackendFleet* fleet,
+                const ModuleSpec& spec, const ModelProfile& profile, int batch_size,
+                int initial_workers, const RuntimeOptions& options, DropPolicy* policy);
 
   // Delivery from the dispatcher (or pipeline ingress).
   void Receive(RequestPtr req);
@@ -40,12 +41,20 @@ class ModuleRuntime {
   // Computes and publishes this module's ModuleState.
   void Sync(SimTime now, StateBoard* board);
 
-  // Scaling: adjusts the active+warming worker pool toward `target`.
-  void SetTargetWorkers(int target);
+  // Scaling: adjusts the active+warming pool toward `target_units` of
+  // capacity in baseline-worker units (Σ backend speed). For a homogeneous
+  // grade-1.0 fleet this is exactly the historical integer worker target.
+  void SetTargetUnits(double target_units);
+  // Backwards-compatible integer form.
+  void SetTargetWorkers(int target) { SetTargetUnits(static_cast<double>(target)); }
 
   // Failure injection: kills up to `count` active workers (their queued and
   // in-flight requests are lost).
   void FailWorkers(int count);
+
+  // Recovery / explicit scale-up: provisions `count` new workers that join
+  // the fleet after their backend profile's cold start.
+  void AddWorkers(int count);
 
   int module_id() const { return spec_.id; }
   int batch_size() const { return batch_size_; }
@@ -57,12 +66,17 @@ class ModuleRuntime {
 
   int ActiveWorkers() const;
   int ProvisionedWorkers() const;  // Active + cold-starting.
+  double ProvisionedUnits() const;
+  // Baseline-grade throughput; heterogeneous capacity is this times the
+  // fleet's effective units.
   double PerWorkerThroughput() const { return profile_.Throughput(batch_size_); }
   double SmoothedInputRate(SimTime now);
 
-  // True execution duration for a batch: the profiled d(batch) with the
-  // configured multiplicative jitter applied.
-  Duration SampleExecDuration(int batch);
+  // True execution duration for a batch on a backend with the given
+  // duration multiplier: the profiled d(batch), scaled, with the configured
+  // multiplicative jitter applied (exec_scale == 1.0 leaves the profiled
+  // value untouched).
+  Duration SampleExecDuration(int batch, double exec_scale);
 
   // --- Hooks invoked by workers -------------------------------------------
   void RecordQueueDelay(SimTime now, Duration q_delay);
@@ -76,9 +90,13 @@ class ModuleRuntime {
 
   Worker* ChooseWorker();
   void ReapRetired();
+  // Provisions one cold worker from the fleet and schedules its activation
+  // after the slot's cold start; returns the slot's capacity units.
+  double ProvisionColdWorker();
 
   Simulation* sim_;
   PipelineRuntime* pipeline_;
+  BackendFleet* fleet_;
   ModuleSpec spec_;
   const ModelProfile& profile_;
   int batch_size_;
@@ -88,8 +106,8 @@ class ModuleRuntime {
 
   // shared_ptr so deferred cold-start events can hold weak references and
   // safely no-op if the worker was drained and reaped in the meantime.
+  // Worker ids are assigned by the fleet (dense, provisioning order).
   std::vector<std::shared_ptr<Worker>> workers_;
-  int next_worker_id_ = 0;
   std::size_t rr_cursor_ = 0;
 
   // State-planner monitoring.

@@ -17,7 +17,8 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
       policy_(policy),
       board_(spec.NumModules()),
       rng_(options.seed),
-      batch_sizes_(PlanBatchSizes(spec)) {
+      batch_sizes_(PlanBatchSizes(spec)),
+      fleet_(spec_, options_.cold_start) {
   PARD_CHECK(policy_ != nullptr);
   std::vector<int> workers;
   if (!options_.fixed_workers.empty()) {
@@ -31,7 +32,7 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
   policy_->Bind(&spec_, &board_);
   for (const ModuleSpec& m : spec_.modules()) {
     modules_.push_back(std::make_unique<ModuleRuntime>(
-        &sim_, this, m, ProfileRegistry::Get(m.model),
+        &sim_, this, &fleet_, m, ProfileRegistry::Get(m.model),
         batch_sizes_[static_cast<std::size_t>(m.id)], workers[static_cast<std::size_t>(m.id)],
         options_, policy_));
   }
@@ -45,6 +46,20 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
     PARD_CHECK(failure.module_id >= 0 && failure.module_id < spec_.NumModules());
     sim_.ScheduleAt(failure.at, [this, failure] {
       modules_[static_cast<std::size_t>(failure.module_id)]->FailWorkers(failure.workers);
+    });
+  }
+  // Deterministic kill/recover fleet schedule (the serving runtime applies
+  // the identical schedule from its control thread).
+  for (const FleetEvent& event : options_.fleet_events) {
+    PARD_CHECK(event.module_id >= 0 && event.module_id < spec_.NumModules());
+    PARD_CHECK(event.count >= 1);
+    sim_.ScheduleAt(event.at, [this, event] {
+      ModuleRuntime& m = *modules_[static_cast<std::size_t>(event.module_id)];
+      if (event.kind == FleetEvent::Kind::kKill) {
+        m.FailWorkers(event.count);
+      } else {
+        m.AddWorkers(event.count);
+      }
     });
   }
 }
@@ -178,11 +193,14 @@ void PipelineRuntime::ScalingTick() {
   for (auto& m : modules_) {
     const double rate = m->SmoothedInputRate(now);
     const double per_worker = m->PerWorkerThroughput();
-    int target = m->ProvisionedWorkers();
+    // Target capacity in baseline-worker units: heterogeneous fleets keep
+    // provisioning until Σ speed covers the demand, which for a homogeneous
+    // grade-1.0 fleet lands on exactly the historical ceil() worker count.
+    double target_units = m->ProvisionedUnits();
     if (rate > 0.0 && per_worker > 0.0) {
-      target = static_cast<int>(std::ceil(rate * options_.provision_headroom / per_worker));
+      target_units = rate * options_.provision_headroom / per_worker;
     }
-    m->SetTargetWorkers(target);
+    m->SetTargetUnits(target_units);
     sample.workers.push_back(m->ActiveWorkers());
   }
   worker_history_.push_back(std::move(sample));

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "pipeline/pipeline_spec.h"
+#include "runtime/backend_fleet.h"
 #include "runtime/drop_policy.h"
 #include "runtime/module_runtime.h"
 #include "runtime/request.h"
@@ -43,6 +44,9 @@ class PipelineRuntime {
   Simulation& sim() { return sim_; }
   const PipelineSpec& spec() const { return spec_; }
   const StateBoard& board() const { return board_; }
+  // Shared worker-roster layer: backend profiles, per-worker states and the
+  // timestamped transition log (see runtime/backend_fleet.h).
+  const BackendFleet& fleet() const { return fleet_; }
   ModuleRuntime& module(int id);
   const std::vector<int>& batch_sizes() const { return batch_sizes_; }
 
@@ -52,10 +56,7 @@ class PipelineRuntime {
 
   // Worker-count history per module: (time, active workers), recorded at
   // each scaling epoch. Used by the cold-start analysis bench.
-  struct WorkerSample {
-    SimTime t;
-    std::vector<int> workers;
-  };
+  using WorkerSample = FleetSample;
   const std::vector<WorkerSample>& worker_history() const { return worker_history_; }
 
   // --- Internal transitions (called by ModuleRuntime/Worker) --------------
@@ -81,6 +82,7 @@ class PipelineRuntime {
   // inside the control blocks keep the arena alive past this runtime.
   std::shared_ptr<RequestArena> arena_ = std::make_shared<RequestArena>();
   std::vector<int> batch_sizes_;
+  BackendFleet fleet_;
   std::vector<std::unique_ptr<ModuleRuntime>> modules_;
   std::vector<RequestPtr> requests_;
   std::vector<WorkerSample> worker_history_;

@@ -9,6 +9,18 @@
 
 namespace pard {
 
+// One deterministic fleet disturbance: kill or (re-)provision workers of a
+// module at a virtual instant. Honored by both substrates — the simulator
+// schedules them on the event loop, the serving runtime applies them from
+// its control thread. Parsed from the pardsim --fault-schedule string by
+// ParseFaultSchedule (runtime/backend_fleet.h).
+struct FleetEvent {
+  SimTime at = 0;
+  int module_id = 0;
+  enum class Kind { kKill, kAdd } kind = Kind::kKill;
+  int count = 1;
+};
+
 struct RuntimeOptions {
   std::uint64_t seed = 42;
 
@@ -62,6 +74,12 @@ struct RuntimeOptions {
     int workers = 1;
   };
   std::vector<FailureEvent> failures;
+
+  // Deterministic fleet fault schedule (both substrates): kKill mirrors
+  // `failures` (kill `count` active workers of `module_id` at `at`), kAdd
+  // provisions `count` replacement workers that become active after their
+  // backend profile's cold start.
+  std::vector<FleetEvent> fleet_events;
 };
 
 }  // namespace pard

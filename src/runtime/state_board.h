@@ -15,6 +15,7 @@
 #ifndef PARD_RUNTIME_STATE_BOARD_H_
 #define PARD_RUNTIME_STATE_BOARD_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -36,12 +37,19 @@ struct ModuleState {
   int batch_size = 1;
   Duration batch_duration = 1;  // d_i at batch_size, us.
 
-  // Capacity and load.
+  // Capacity and load. `per_worker_throughput` is the baseline grade's
+  // req/s; heterogeneous fleets report their effective capacity via
+  // `effective_units` (Σ speed over active workers, in baseline-worker
+  // units) and `mean_speed` (effective_units / active count). Both are
+  // exactly num_workers and 1.0 for a homogeneous grade-1.0 fleet, so
+  // every downstream formula degenerates to the historical arithmetic.
   int num_workers = 1;
-  double per_worker_throughput = 0.0;  // req/s.
+  double per_worker_throughput = 0.0;  // req/s at the baseline grade.
+  double effective_units = 1.0;        // Fleet capacity, baseline units.
+  double mean_speed = 1.0;             // Mean active-worker speed grade.
   double input_rate = 0.0;             // Recent arrivals, req/s.
   double smoothed_rate = 0.0;          // Window-smoothed arrivals, req/s.
-  double load_factor = 0.0;            // mu = T_in / T_m.
+  double load_factor = 0.0;            // mu = T_in / (T_m * units).
   double burstiness = 0.0;             // eps = sum|T_in - T_s| / sum T_in.
 
   // Sorted snapshot of recent per-request batch waits (us). Empty until the
@@ -49,6 +57,19 @@ struct ModuleState {
   // model in that case.
   std::vector<double> wait_samples;
 };
+
+// Expected execution duration of a batch on the module's current fleet mix:
+// the profiled d(b) stretched by the mean active speed (a fleet averaging
+// half the baseline speed executes batches twice as slowly). The exact-1.0
+// guard keeps homogeneous fleets on the untouched table value, preserving
+// bit-identity with the pre-heterogeneity kernel.
+inline Duration EffectiveBatchDuration(const ModuleState& state) {
+  if (state.mean_speed == 1.0 || state.mean_speed <= 0.0) {
+    return state.batch_duration;
+  }
+  return static_cast<Duration>(
+      std::llround(static_cast<double>(state.batch_duration) / state.mean_speed));
+}
 
 class StateBoard {
  public:

@@ -7,8 +7,9 @@
 
 namespace pard {
 
-Worker::Worker(Simulation* sim, ModuleRuntime* module, int worker_id)
-    : sim_(sim), module_(module), worker_id_(worker_id) {}
+Worker::Worker(Simulation* sim, ModuleRuntime* module, BackendFleet* fleet,
+               const BackendSlot& slot)
+    : sim_(sim), module_(module), fleet_(fleet), slot_(slot) {}
 
 std::size_t Worker::Load() const {
   return queue_.Size() + forming_.size() + executing_batch_.size();
@@ -17,6 +18,7 @@ std::size_t Worker::Load() const {
 void Worker::Activate() {
   PARD_CHECK(state_ == State::kColdStarting);
   state_ = State::kActive;
+  fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kActive, sim_->Now());
   // Work may have been queued while warming (dispatch avoids cold workers,
   // but keep the invariant that an active worker drains its queue).
   FillFormingBatch();
@@ -26,8 +28,10 @@ void Worker::Activate() {
 void Worker::BeginDraining() {
   if (state_ == State::kActive || state_ == State::kColdStarting) {
     state_ = State::kDraining;
+    fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kDraining, sim_->Now());
     if (Idle()) {
       state_ = State::kRetired;
+      fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kRetired, sim_->Now());
     }
   }
 }
@@ -101,7 +105,7 @@ void Worker::MaybeLaunch() {
   executing_batch_ = std::move(forming_);
   forming_.clear();
   const int count = static_cast<int>(executing_batch_.size());
-  const Duration d = module_->SampleExecDuration(count);
+  const Duration d = module_->SampleExecDuration(count, slot_.exec_scale);
   executing_ = true;
   exec_start_ = now;
   exec_end_ = now + d;
@@ -141,6 +145,7 @@ void Worker::Fail() {
     }
   }
   state_ = State::kRetired;
+  fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kFailed, sim_->Now());
 }
 
 void Worker::OnBatchComplete() {
@@ -166,6 +171,7 @@ void Worker::OnBatchComplete() {
   MaybeLaunch();
   if (state_ == State::kDraining && Idle()) {
     state_ = State::kRetired;
+    fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kRetired, sim_->Now());
   }
 }
 

@@ -7,11 +7,17 @@
 // request a batch wait W = t_e - t_b in [0, d]. An idle worker launches
 // immediately (W = 0). The drop decision (Request Broker) happens exactly at
 // admission time, when t_e and d_k are known.
+//
+// Each worker occupies one BackendFleet slot: its backend profile scales
+// profiled batch durations (slot.exec_scale) and sets its cold-start delay,
+// and every state change is mirrored to the fleet so capacity accounting
+// and the transition log are shared with the serving substrate.
 #ifndef PARD_RUNTIME_WORKER_H_
 #define PARD_RUNTIME_WORKER_H_
 
 #include <vector>
 
+#include "runtime/backend_fleet.h"
 #include "runtime/drop_policy.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
@@ -30,7 +36,7 @@ class Worker {
     kRetired,
   };
 
-  Worker(Simulation* sim, ModuleRuntime* module, int worker_id);
+  Worker(Simulation* sim, ModuleRuntime* module, BackendFleet* fleet, const BackendSlot& slot);
 
   // Dispatcher entry point: enqueue and, if capacity allows, immediately
   // pull into the forming batch / start executing.
@@ -39,7 +45,8 @@ class Worker {
   // Load metric used by the dispatcher (queued + forming + executing).
   std::size_t Load() const;
 
-  int worker_id() const { return worker_id_; }
+  int worker_id() const { return slot_.worker_id; }
+  const BackendSlot& slot() const { return slot_; }
   State state() const { return state_; }
   bool Dispatchable() const { return state_ == State::kActive; }
   bool Idle() const { return !executing_ && forming_.empty() && queue_.Empty(); }
@@ -66,7 +73,8 @@ class Worker {
 
   Simulation* sim_;
   ModuleRuntime* module_;
-  int worker_id_;
+  BackendFleet* fleet_;
+  BackendSlot slot_;
   State state_ = State::kColdStarting;
 
   RequestQueue queue_;

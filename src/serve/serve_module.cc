@@ -9,14 +9,15 @@
 
 namespace pard {
 
-ServeModule::ServeModule(ServeRuntime* runtime, const ModuleSpec& spec,
+ServeModule::ServeModule(ServeRuntime* runtime, BackendFleet* fleet, const ModuleSpec& spec,
                          const ModelProfile& profile, int batch_size, int workers,
                          const RuntimeOptions& options)
     : runtime_(runtime),
+      fleet_(fleet),
       spec_(spec),
       profile_(profile),
       batch_size_(batch_size),
-      worker_count_(workers),
+      initial_workers_(workers),
       options_(options),
       jitter_rng_(Rng(options.seed).Fork("serve-jitter:" + std::to_string(spec.id))),
       queue_delay_window_(options.stats_window),
@@ -24,13 +25,104 @@ ServeModule::ServeModule(ServeRuntime* runtime, const ModuleSpec& spec,
       wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)),
       rate_monitor_(options.stats_window) {
   PARD_CHECK(batch_size_ >= 1);
-  PARD_CHECK(worker_count_ >= 1);
+  PARD_CHECK(initial_workers_ >= 1);
+  PARD_CHECK(fleet_ != nullptr);
+}
+
+void ServeModule::SpawnWorker(bool warm, SimTime now) {
+  const BackendSlot slot = fleet_->Provision(spec_.id, now);
+  if (warm) {
+    fleet_->SetState(spec_.id, slot.worker_id, BackendState::kActive, now);
+  }
+  ServeWorker* worker = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    roster_.push_back(std::make_unique<ServeWorker>(slot, /*cold=*/!warm));
+    worker = roster_.back().get();
+  }
+  workers_.Spawn([this, worker] { WorkerLoop(worker); });
 }
 
 void ServeModule::Start() {
-  for (int i = 0; i < worker_count_; ++i) {
-    workers_.Spawn([this] { WorkerLoop(); });
+  for (int i = 0; i < initial_workers_; ++i) {
+    SpawnWorker(/*warm=*/true, 0);  // The initial fleet starts warm.
   }
+}
+
+int ServeModule::AddWorkers(int count, SimTime now) {
+  // Per-module worker cap, exactly like the simulator's recovery path.
+  count = std::min(count,
+                   options_.max_workers_per_module - fleet_->ProvisionedCount(spec_.id));
+  for (int i = 0; i < count; ++i) {
+    SpawnWorker(/*warm=*/false, now);
+  }
+  return std::max(0, count);
+}
+
+int ServeModule::FailWorkers(int count, SimTime now) {
+  int killed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Oldest active workers first, mirroring ModuleRuntime::FailWorkers.
+    for (auto& entry : roster_) {
+      if (killed >= count) {
+        break;
+      }
+      ServeWorker& w = *entry;
+      if (w.kill.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (fleet_->State(spec_.id, w.slot.worker_id) != BackendState::kActive) {
+        continue;
+      }
+      w.kill.store(true, std::memory_order_release);
+      fleet_->SetState(spec_.id, w.slot.worker_id, BackendState::kFailed, now);
+      ++killed;
+    }
+  }
+  work_ready_.notify_all();
+  return killed;
+}
+
+int ServeModule::SetTargetUnits(double target_units, SimTime now, int max_new_threads) {
+  target_units =
+      std::clamp(target_units, 1.0, static_cast<double>(options_.max_workers_per_module));
+  int added = 0;
+  double provisioned = fleet_->ProvisionedUnits(spec_.id);
+  while (provisioned < target_units && added < max_new_threads &&
+         fleet_->ProvisionedCount(spec_.id) < options_.max_workers_per_module) {
+    AddWorkers(1, now);
+    ++added;
+    provisioned = fleet_->ProvisionedUnits(spec_.id);
+  }
+  if (added == 0 && provisioned > target_units) {
+    bool any = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = roster_.rbegin(); it != roster_.rend(); ++it) {
+        ServeWorker& w = **it;
+        if (w.kill.load(std::memory_order_relaxed) ||
+            w.drain.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        const BackendState state = fleet_->State(spec_.id, w.slot.worker_id);
+        if (state != BackendState::kActive && state != BackendState::kColdStarting) {
+          continue;
+        }
+        if (provisioned - w.slot.speed < target_units) {
+          continue;  // Removing this worker would undershoot the target.
+        }
+        w.drain.store(true, std::memory_order_release);
+        fleet_->SetState(spec_.id, w.slot.worker_id, BackendState::kDraining, now);
+        provisioned -= w.slot.speed;
+        any = true;
+      }
+    }
+    if (any) {
+      work_ready_.notify_all();
+    }
+  }
+  return added;
 }
 
 void ServeModule::NoteOffered(SimTime now) {
@@ -115,28 +207,52 @@ std::vector<RequestPtr> ServeModule::FormBatchLocked(SimTime now) {
   return batch;
 }
 
-void ServeModule::WorkerLoop() {
+void ServeModule::WorkerLoop(ServeWorker* w) {
   const ServeClock& clock = runtime_->clock();
+  if (w->cold) {
+    // Model load: this slot serves only after its backend's cold start.
+    clock.SleepFor(w->slot.cold_start);
+    if (w->kill.load(std::memory_order_acquire)) {
+      return;  // Killed while warming; the fleet already logged kFailed.
+    }
+    if (w->drain.load(std::memory_order_acquire)) {
+      fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kRetired, clock.Now());
+      return;
+    }
+    fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kActive, clock.Now());
+  }
   for (;;) {
     std::vector<RequestPtr> batch;
-    SimTime formed_at = 0;
     Duration planned = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stop_ || !queue_.Empty(); });
+      work_ready_.wait(lock, [this, w] {
+        return stop_ || w->kill.load(std::memory_order_relaxed) ||
+               w->drain.load(std::memory_order_relaxed) || !queue_.Empty();
+      });
+      if (w->kill.load(std::memory_order_relaxed)) {
+        // Failed while idle: nothing in flight; the shared queue survives
+        // for the remaining workers (unlike the simulator's private queues).
+        return;
+      }
+      if (w->drain.load(std::memory_order_relaxed)) {
+        fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kRetired, clock.Now());
+        return;
+      }
       if (queue_.Empty()) {
         if (stop_) {
           return;
         }
         continue;  // Spurious wake or a sibling consumed the work.
       }
-      formed_at = clock.Now();
-      batch = FormBatchLocked(formed_at);
+      batch = FormBatchLocked(clock.Now());
       if (batch.empty()) {
         continue;  // Everything expired or was dropped proactively.
       }
-      // Profiled duration with the configured jitter (jitter_rng_ under mu_).
-      planned = profile_.BatchDuration(static_cast<int>(batch.size()));
+      // Profiled duration on THIS slot's backend (exec_scale), with the
+      // configured jitter (jitter_rng_ under mu_).
+      planned = ScaleBatchDuration(profile_.BatchDuration(static_cast<int>(batch.size())),
+                                   w->slot.exec_scale);
       if (options_.exec_jitter > 0.0) {
         const double factor =
             std::max(0.5, jitter_rng_.Normal(1.0, options_.exec_jitter));
@@ -150,8 +266,17 @@ void ServeModule::WorkerLoop() {
     const SimTime exec_start = clock.Now();
     clock.SleepFor(planned);
     const SimTime exec_end = clock.Now();
-    const Duration gpu_share = (exec_end - exec_start) / static_cast<Duration>(batch.size());
 
+    if (w->kill.load(std::memory_order_acquire)) {
+      // The GPU died mid-batch: the executing batch is lost, mirroring the
+      // simulator's Worker::Fail accounting.
+      for (const RequestPtr& req : batch) {
+        runtime_->Drop(req, spec_.id, exec_end);
+      }
+      return;
+    }
+
+    const Duration gpu_share = (exec_end - exec_start) / static_cast<Duration>(batch.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (const RequestPtr& req : batch) {
@@ -168,7 +293,16 @@ void ServeModule::WorkerLoop() {
     for (RequestPtr& req : batch) {
       runtime_->OnModuleDone(req, spec_.id, exec_end);
     }
+    if (w->drain.load(std::memory_order_acquire)) {
+      fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kRetired, clock.Now());
+      return;
+    }
   }
+}
+
+double ServeModule::SmoothedInputRate(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_monitor_.Smoothed(now);
 }
 
 ModuleState ServeModule::Snapshot(SimTime now) {
@@ -181,11 +315,9 @@ ModuleState ServeModule::Snapshot(SimTime now) {
       now, static_cast<double>(profile_.BatchDuration(batch_size_)));
   state.batch_size = batch_size_;
   state.batch_duration = profile_.BatchDuration(batch_size_);
-  state.num_workers = worker_count_;
-  state.per_worker_throughput = profile_.Throughput(batch_size_);
+  const double capacity = fleet_->PublishCapacity(spec_.id, PerWorkerThroughput(), state);
   state.input_rate = rate_monitor_.Raw(now);
   state.smoothed_rate = rate_monitor_.Smoothed(now);
-  const double capacity = state.per_worker_throughput * state.num_workers;
   state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
   state.burstiness = rate_monitor_.Burstiness(now);
   state.wait_samples = wait_reservoir_.values();

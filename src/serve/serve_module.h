@@ -7,6 +7,16 @@
 // "executes" it by sleeping the profiled duration in scaled wall time, then
 // hands the batch back to the runtime for forwarding.
 //
+// Worker roster: every thread occupies one BackendFleet slot, so fleets can
+// be heterogeneous — a slot's backend profile scales its execution
+// durations (slot.exec_scale) and sets its cold-start delay. The roster is
+// dynamic: AddWorkers() spawns threads that serve only after their cold
+// start, DrainWorkers() retires the most recently added threads after their
+// current batch, and FailWorkers() kills threads so that their in-flight
+// batch is lost (mirroring the simulator's Worker::Fail; the *queued*
+// backlog survives here because the DEPQ is shared, where the simulator
+// loses the failed worker's private queue).
+//
 // Batching discipline vs the simulator: a pull-based worker launches as soon
 // as it is free, so the batch-entry and execution-start instants coincide
 // (W ≈ 0) and contention shows up entirely as queueing delay Q. This is the
@@ -14,16 +24,21 @@
 // form-while-executing overlap (W ∈ [0, d]) is one reason serve and sim
 // numbers agree only within a tolerance band (see tests/serve_test.cc).
 //
-// Concurrency contract: `mu_` guards the queue and all monitoring state
-// (windows, reservoir, rate bins). Workers may take the control-plane lock
-// while holding `mu_` (module → control order); Snapshot() takes only `mu_`
-// so the sync thread can snapshot first and publish second without ever
-// nesting control → module.
+// Concurrency contract: `mu_` guards the queue, the roster vector and all
+// monitoring state (windows, reservoir, rate bins). Workers may take the
+// control-plane lock while holding `mu_` (module → control order);
+// Snapshot() takes only `mu_` so the control thread can snapshot first and
+// publish second without ever nesting control → module. Roster mutations
+// (AddWorkers/DrainWorkers/FailWorkers) must come from ONE control thread
+// and never race Start()/Join() — ServeRuntime's shutdown joins the control
+// thread before joining workers to pin this.
 #ifndef PARD_SERVE_SERVE_MODULE_H_
 #define PARD_SERVE_SERVE_MODULE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -31,6 +46,7 @@
 #include "exec/thread_pool.h"
 #include "models/model_profile.h"
 #include "pipeline/pipeline_spec.h"
+#include "runtime/backend_fleet.h"
 #include "runtime/rate_monitor.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
@@ -45,10 +61,12 @@ class ServeRuntime;
 
 class ServeModule {
  public:
-  ServeModule(ServeRuntime* runtime, const ModuleSpec& spec, const ModelProfile& profile,
-              int batch_size, int workers, const RuntimeOptions& options);
+  ServeModule(ServeRuntime* runtime, BackendFleet* fleet, const ModuleSpec& spec,
+              const ModelProfile& profile, int batch_size, int workers,
+              const RuntimeOptions& options);
 
-  // Spawns the worker threads. Call once, after construction of all modules.
+  // Spawns the initial (warm) worker threads. Call once, after construction
+  // of all modules and before the control thread starts.
   void Start();
 
   // Thread-safe offered-load accounting. The runtime calls this for every
@@ -61,6 +79,21 @@ class ServeModule {
   // Thread-safe delivery (ingress admission already done by the runtime).
   void Receive(RequestPtr req);
 
+  // --- Fleet dynamics (control thread only; never concurrent with Join) ---
+  // Provisions `count` new worker threads that begin serving after their
+  // backend profile's cold start, bounded by the per-module worker cap.
+  // Returns the number actually spawned (the caller additionally budgets
+  // the fleet-wide thread cap).
+  int AddWorkers(int count, SimTime now);
+  // Fault injection: kills up to `count` active workers. A killed worker's
+  // in-flight batch is dropped at this module; the thread exits. Returns
+  // the number killed.
+  int FailWorkers(int count, SimTime now);
+  // Adjust the live fleet toward `target_units` of capacity (baseline-worker
+  // units), spawning at most `max_new_threads` new threads; drains when
+  // above target. Returns threads added.
+  int SetTargetUnits(double target_units, SimTime now, int max_new_threads);
+
   // Asks workers to exit once the queue is empty, then unblocks them.
   void RequestStop();
   // Drain-timeout stop: discards the entire backlog (abandoned requests stay
@@ -71,25 +104,42 @@ class ServeModule {
   // Joins worker threads; re-throws the first worker exception.
   void Join();
 
-  // Monitoring snapshot for the state-sync thread. Takes only the module
-  // lock (see the lock-ordering note above).
+  // Monitoring snapshot for the control thread. Takes only the module lock
+  // (see the lock-ordering note above).
   ModuleState Snapshot(SimTime now);
+  // Window-smoothed offered rate, for the scaling engine.
+  double SmoothedInputRate(SimTime now);
+  double PerWorkerThroughput() const { return profile_.Throughput(batch_size_); }
 
   int module_id() const { return spec_.id; }
   int batch_size() const { return batch_size_; }
-  int worker_count() const { return worker_count_; }
+  int initial_workers() const { return initial_workers_; }
 
  private:
-  void WorkerLoop();
+  // One worker thread's shared flags. The slot is immutable; kill/drain are
+  // written by the control thread and polled by the owning thread.
+  struct ServeWorker {
+    explicit ServeWorker(const BackendSlot& s, bool c) : slot(s), cold(c) {}
+    const BackendSlot slot;
+    const bool cold;  // Spawned mid-run: sleep slot.cold_start first.
+    std::atomic<bool> kill{false};
+    std::atomic<bool> drain{false};
+  };
+
+  void WorkerLoop(ServeWorker* w);
   // Pops up to batch_size_ live requests, applying purge + broker decisions.
   // Caller holds mu_.
   std::vector<RequestPtr> FormBatchLocked(SimTime now);
+  // Spawns one roster entry (cold unless `warm`). Caller must be the
+  // constructor/control thread.
+  void SpawnWorker(bool warm, SimTime now);
 
   ServeRuntime* runtime_;
+  BackendFleet* fleet_;
   ModuleSpec spec_;
   const ModelProfile& profile_;
   int batch_size_;
-  int worker_count_;
+  int initial_workers_;
   RuntimeOptions options_;
 
   std::mutex mu_;
@@ -97,6 +147,7 @@ class ServeModule {
   bool stop_ = false;
   RequestQueue queue_;
   Rng jitter_rng_;
+  std::vector<std::unique_ptr<ServeWorker>> roster_;  // Guarded by mu_.
 
   // State-planner monitoring, all guarded by mu_. SlidingWindow requires
   // non-decreasing timestamps but concurrent workers observe slightly

@@ -54,9 +54,8 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
       board_(spec.NumModules()),
       control_(&spec_, policy, &board_),
       batch_sizes_(PlanBatchSizes(spec_)),
+      fleet_(spec_, options.cold_start),
       rng_(options.seed) {
-  PARD_CHECK_MSG(options_.failures.empty(),
-                 "failure injection is not modeled in serving mode");
   PARD_CHECK(serve_.max_total_threads >= spec_.NumModules());
   if (!options_.fixed_workers.empty()) {
     PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
@@ -67,12 +66,28 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
                                options_.max_workers_per_module, options_.total_gpus);
   }
   worker_plan_ = CapTotalWorkers(worker_plan_, serve_.max_total_threads);
+  // The deterministic fault schedule, merged and time-sorted. Validated
+  // loudly here: a typo'd module id must fail the run, not silently no-op.
+  for (const RuntimeOptions::FailureEvent& failure : options_.failures) {
+    PARD_CHECK_MSG(failure.module_id >= 0 && failure.module_id < spec_.NumModules(),
+                   "failure event targets unknown module " << failure.module_id);
+    fault_schedule_.push_back(
+        FleetEvent{failure.at, failure.module_id, FleetEvent::Kind::kKill, failure.workers});
+  }
+  for (const FleetEvent& event : options_.fleet_events) {
+    PARD_CHECK_MSG(event.module_id >= 0 && event.module_id < spec_.NumModules(),
+                   "fleet event targets unknown module " << event.module_id);
+    PARD_CHECK(event.count >= 1);
+    fault_schedule_.push_back(event);
+  }
+  std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) { return a.at < b.at; });
   for (const ModuleSpec& m : spec_.modules()) {
     const ModelProfile& profile = ProfileRegistry::Get(m.model);
     planned_batch_duration_.push_back(
         profile.BatchDuration(batch_sizes_[static_cast<std::size_t>(m.id)]));
     modules_.push_back(std::make_unique<ServeModule>(
-        this, m, profile, batch_sizes_[static_cast<std::size_t>(m.id)],
+        this, &fleet_, m, profile, batch_sizes_[static_cast<std::size_t>(m.id)],
         worker_plan_[static_cast<std::size_t>(m.id)], options_));
   }
 }
@@ -218,25 +233,80 @@ void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
   in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
-void ServeRuntime::SyncLoop() {
-  SimTime next = options_.sync_period;
-  while (!stop_sync_.load(std::memory_order_relaxed)) {
-    clock_.SleepUntil(next);
-    if (stop_sync_.load(std::memory_order_relaxed)) {
+void ServeRuntime::ScalingTick(SimTime now) {
+  FleetSample sample;
+  sample.t = now;
+  for (auto& module : modules_) {
+    const double rate = module->SmoothedInputRate(now);
+    const double per_worker = module->PerWorkerThroughput();
+    // Same engine as PipelineRuntime::ScalingTick: target capacity in
+    // baseline-worker units from the smoothed offered rate.
+    double target_units = fleet_.ProvisionedUnits(module->module_id());
+    if (rate > 0.0 && per_worker > 0.0) {
+      target_units = rate * options_.provision_headroom / per_worker;
+    }
+    // Real threads are capped fleet-wide; scale-ups spend the remaining
+    // thread budget, scale-downs always apply.
+    const int budget = serve_.max_total_threads - fleet_.TotalProvisioned();
+    module->SetTargetUnits(target_units, now, std::max(0, budget));
+    sample.workers.push_back(fleet_.ActiveCount(module->module_id()));
+  }
+  worker_history_.push_back(std::move(sample));
+}
+
+void ServeRuntime::ControlLoop() {
+  SimTime next_sync = options_.sync_period;
+  SimTime next_scale = options_.enable_scaling ? options_.scaling_epoch : -1;
+  std::size_t next_fault = 0;
+  while (!stop_control_.load(std::memory_order_relaxed)) {
+    SimTime wake = next_sync;
+    if (next_scale >= 0) {
+      wake = std::min(wake, next_scale);
+    }
+    if (next_fault < fault_schedule_.size()) {
+      wake = std::min(wake, fault_schedule_[next_fault].at);
+    }
+    clock_.SleepUntil(wake);
+    if (stop_control_.load(std::memory_order_relaxed)) {
       return;
     }
     const SimTime now = clock_.Now();
-    std::vector<ModuleState> states;
-    states.reserve(modules_.size());
-    for (auto& module : modules_) {
-      states.push_back(module->Snapshot(now));  // Module locks, one at a time.
+    // Deterministic fault schedule first: kill/recover exactly as scheduled
+    // (transitions are logged at the scheduled instant).
+    while (next_fault < fault_schedule_.size() && fault_schedule_[next_fault].at <= now) {
+      const FleetEvent& event = fault_schedule_[next_fault++];
+      ServeModule& module = *modules_[static_cast<std::size_t>(event.module_id)];
+      if (event.kind == FleetEvent::Kind::kKill) {
+        module.FailWorkers(event.count, event.at);
+      } else {
+        // Recovery spends the remaining thread budget like any scale-up —
+        // a fault schedule cannot push past the fleet-wide thread cap.
+        const int budget =
+            std::max(0, serve_.max_total_threads - fleet_.TotalProvisioned());
+        module.AddWorkers(std::min(event.count, budget), event.at);
+      }
     }
-    control_.Sync(std::move(states), now);  // Control lock; never nested.
-    next += options_.sync_period;
+    if (next_scale >= 0 && now >= next_scale) {
+      ScalingTick(now);
+      next_scale += options_.scaling_epoch;
+    }
+    if (now >= next_sync) {
+      std::vector<ModuleState> states;
+      states.reserve(modules_.size());
+      for (auto& module : modules_) {
+        states.push_back(module->Snapshot(now));  // Module locks, one at a time.
+      }
+      control_.Sync(std::move(states), now);  // Control lock; never nested.
+      next_sync += options_.sync_period;
+    }
   }
 }
 
 void ServeRuntime::Shutdown(bool abandon_backlog) {
+  // The control thread goes first: once it is joined, no scaling tick or
+  // fault event can spawn a worker thread while the module groups join.
+  stop_control_.store(true, std::memory_order_relaxed);
+  control_thread_.Join();
   // Topo order: once module k's workers have joined, nothing can deliver to
   // k's successors, so each successor sees its final queue before its own
   // stop flag is observed with an empty queue. On the abandon path the
@@ -255,8 +325,6 @@ void ServeRuntime::Shutdown(bool abandon_backlog) {
       module.Abort();  // Re-discard what upstream forwarded while joining.
     }
   }
-  stop_sync_.store(true, std::memory_order_relaxed);
-  sync_thread_.Join();
 }
 
 void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
@@ -269,7 +337,7 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
   for (auto& module : modules_) {
     module->Start();
   }
-  sync_thread_.Spawn([this] { SyncLoop(); });
+  control_thread_.Spawn([this] { ControlLoop(); });
 
   try {
     LoadGenerator generator(&clock_, arrivals, [this](SimTime t) { Inject(t); });

@@ -6,9 +6,9 @@
 // paper's system: an open-loop load generator injects requests in (scaled)
 // real time, each module's GPU workers are OS threads draining a shared
 // DEPQ, the PARD broker / estimator / baselines make their decisions against
-// wall-clock deadlines behind the ControlPlane facade, and a state-sync
-// thread publishes ModuleState snapshots once per virtual second exactly
-// like the paper's gRPC state exchange.
+// wall-clock deadlines behind the ControlPlane facade, and a control thread
+// publishes ModuleState snapshots once per virtual second exactly like the
+// paper's gRPC state exchange.
 //
 // An admission front-end performs the proactive drops before a request
 // enters any module queue: at every delivery the policy's enqueue-time
@@ -16,12 +16,23 @@
 // the hypothetical batch start) run first, so requests that cannot meet
 // their SLO never consume queue space or GPU time.
 //
-// Scope vs the simulator: worker counts are fixed for the run (no scaling
-// engine), failure injection is not modeled, and inter-module network delay
-// is folded into real forwarding cost. Runs are NOT bit-deterministic —
-// thread scheduling and sleep granularity vary run to run; determinism lives
-// in the arrival stream only. Leftover in-flight requests at the drain
-// deadline are accounted kLate so conservation holds.
+// Fleet dynamics: worker rosters live in a BackendFleet shared with the
+// simulator's abstraction — slots draw (possibly heterogeneous) backend
+// profiles from the pipeline's catalog. With options.enable_scaling the
+// control thread runs the same scaling engine as the simulator every
+// scaling_epoch (target capacity in baseline-worker units from the smoothed
+// offered rate; scale-ups are real threads that serve only after their
+// profile's cold start, bounded by serve.max_total_threads), recording the
+// per-epoch worker history. options.failures / options.fleet_events apply a
+// deterministic kill/recover schedule mid-run, mirroring the simulator's
+// Worker::Fail semantics (a killed worker's in-flight batch is lost; the
+// shared queue survives for the remaining workers).
+//
+// Scope vs the simulator: inter-module network delay is folded into real
+// forwarding cost, and runs are NOT bit-deterministic — thread scheduling
+// and sleep granularity vary run to run; determinism lives in the arrival
+// stream and the fault schedule only. Leftover in-flight requests at the
+// drain deadline are accounted kLate so conservation holds.
 #ifndef PARD_SERVE_SERVE_RUNTIME_H_
 #define PARD_SERVE_SERVE_RUNTIME_H_
 
@@ -33,6 +44,7 @@
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "pipeline/pipeline_spec.h"
+#include "runtime/backend_fleet.h"
 #include "runtime/drop_policy.h"
 #include "runtime/request.h"
 #include "runtime/runtime_options.h"
@@ -49,7 +61,7 @@ class ServeRuntime {
   // `policy` must outlive the runtime. Worker provisioning mirrors
   // PipelineRuntime (options.fixed_workers, else PlanWorkers from
   // `expected_rate`), additionally capped at serve.max_total_threads real
-  // threads across all modules.
+  // threads across all modules (the cap also bounds runtime scale-ups).
   ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& options, DropPolicy* policy,
                double expected_rate, const ServeOptions& serve);
 
@@ -67,6 +79,11 @@ class ServeRuntime {
   ControlPlane& control() { return control_; }
   const std::vector<int>& batch_sizes() const { return batch_sizes_; }
   const std::vector<int>& worker_plan() const { return worker_plan_; }
+  // Shared roster layer: backend profiles, per-worker states, transitions.
+  const BackendFleet& fleet() const { return fleet_; }
+  // Per-scaling-epoch active worker counts (empty when scaling is off).
+  // Valid after RunTrace returns.
+  const std::vector<FleetSample>& worker_history() const { return worker_history_; }
 
   // --- Internal transitions (called from module worker threads) -----------
   void OnModuleDone(const RequestPtr& req, int module_id, SimTime now);
@@ -76,11 +93,12 @@ class ServeRuntime {
 
  private:
   void Inject(SimTime scheduled);
-  // Stops module workers (topo order, so downstream drains what upstream
-  // already forwarded) and the sync thread. With `abandon_backlog` (drain
-  // timeout, mid-run exception) queued requests are discarded instead of
-  // served, bounding shutdown to ~one in-flight batch per worker even under
-  // a drop-free policy. Idempotent; runs on the normal exit path AND before
+  // Stops the control thread first (so no scale-up can spawn a thread while
+  // modules join), then module workers in topo order, so downstream drains
+  // what upstream already forwarded. With `abandon_backlog` (drain timeout,
+  // mid-run exception) queued requests are discarded instead of served,
+  // bounding shutdown to ~one in-flight batch per worker even under a
+  // drop-free policy. Idempotent; runs on the normal exit path AND before
   // rethrowing a mid-run exception, so worker threads are never left parked
   // on a condition variable a destructor would then join forever.
   void Shutdown(bool abandon_backlog);
@@ -88,7 +106,10 @@ class ServeRuntime {
   void Deliver(const RequestPtr& req, int module_id, SimTime now);
   void Complete(const RequestPtr& req, SimTime now);
   void AssignDynamicPathLocked(Request& req);
-  void SyncLoop();
+  // Control thread: state sync every sync_period, the scaling engine every
+  // scaling_epoch (when enabled), and the deterministic fault schedule.
+  void ControlLoop();
+  void ScalingTick(SimTime now);
   // O(1): reads the in-flight counter, so the 2 ms drain poll never scans
   // the request log under state_mu_ while workers race the deadline.
   bool AllTerminal() const { return in_flight_.load(std::memory_order_acquire) == 0; }
@@ -101,10 +122,16 @@ class ServeRuntime {
   ControlPlane control_;
   std::vector<int> batch_sizes_;
   std::vector<int> worker_plan_;
+  BackendFleet fleet_;
+  // Merged options_.failures + options_.fleet_events, sorted by time;
+  // applied from the control thread.
+  std::vector<FleetEvent> fault_schedule_;
   // Per-module d(batch) at the planned batch size, cached at construction so
   // ingress admission never touches the profile registry from worker threads.
   std::vector<Duration> planned_batch_duration_;
   std::vector<std::unique_ptr<ServeModule>> modules_;
+  // Written by the control thread only; read after RunTrace joins it.
+  std::vector<FleetSample> worker_history_;
 
   // Guards request fate/finish transitions, DAG merge counters, the request
   // log and the dynamic-path RNG. Never held while taking a module or
@@ -118,8 +145,8 @@ class ServeRuntime {
   // the drain loop can read without the lock).
   std::atomic<std::size_t> in_flight_{0};
 
-  std::atomic<bool> stop_sync_{false};
-  WorkerGroup sync_thread_;
+  std::atomic<bool> stop_control_{false};
+  WorkerGroup control_thread_;
   bool ran_ = false;
 };
 

@@ -45,13 +45,20 @@ TEST_P(ConfigsTest, LoadsAndMatchesBuiltin) {
     EXPECT_EQ(loaded.Module(i).pres, builtin.Module(i).pres);
     EXPECT_EQ(loaded.Module(i).subs, builtin.Module(i).subs);
   }
+  // Backend catalogs (speed grades, cold starts, per-model scales) must
+  // round-trip exactly, including their absence.
+  ASSERT_EQ(loaded.backends().size(), builtin.backends().size()) << c.file;
+  for (std::size_t i = 0; i < builtin.backends().size(); ++i) {
+    EXPECT_EQ(loaded.backends()[i], builtin.backends()[i]) << c.file << " backend " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigsTest,
                          ::testing::Values(ConfigCase{"traffic_monitoring.json", "tm"},
                                            ConfigCase{"live_video.json", "lv"},
                                            ConfigCase{"game_analysis.json", "gm"},
-                                           ConfigCase{"dag_live_video.json", "da"}),
+                                           ConfigCase{"dag_live_video.json", "da"},
+                                           ConfigCase{"hetero_live_video.json", "lvhet"}),
                          [](const ::testing::TestParamInfo<ConfigCase>& info) {
                            return std::string(info.param.app);
                          });

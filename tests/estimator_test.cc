@@ -298,5 +298,32 @@ TEST_P(SweetSpotConcentrationTest, FractionGrowsWithCascadeDepth) {
 
 INSTANTIATE_TEST_SUITE_P(Depths, SweetSpotConcentrationTest, ::testing::Values(1, 2, 3, 4, 6, 8));
 
+TEST(LatencyEstimator, HeterogeneousFleetStretchesExecAndWaitTerms) {
+  // A fleet averaging half the baseline speed (mean_speed 0.5) doubles the
+  // effective batch duration, so both the exec sum and the uniform-fallback
+  // wait quantile scale accordingly — the estimator reasons against the
+  // fleet's effective service rate, not `workers × uniform profile`.
+  const PipelineSpec lv = MakeLiveVideo();
+  const Duration d = 10 * kUsPerMs;
+  StateBoard baseline_board = UniformBoard(5, d);
+  StateBoard hetero_board(5);
+  for (int i = 0; i < 5; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = d;
+    s.batch_size = 4;
+    s.num_workers = 2;
+    s.effective_units = 1.0;  // Two workers of grade 0.5.
+    s.mean_speed = 0.5;
+    hetero_board.Publish(std::move(s));
+  }
+  LatencyEstimator baseline(&lv, &baseline_board, HighResOptions(), Rng(6));
+  LatencyEstimator hetero(&lv, &hetero_board, HighResOptions(), Rng(6));
+  const double base = static_cast<double>(baseline.EstimateSubsequent(0));
+  const double slow = static_cast<double>(hetero.EstimateSubsequent(0));
+  // Every term is linear in the effective duration: the estimate doubles.
+  EXPECT_NEAR(slow, 2.0 * base, 2.0 * base * 0.05);
+}
+
 }  // namespace
 }  // namespace pard

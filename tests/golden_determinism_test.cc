@@ -133,6 +133,48 @@ TEST(GoldenDeterminism, DagDynamicPathPrediction) {
   ExpectGolden(Find("dag-dynamic-pard-path"), RunExperiment(c));
 }
 
+// ISSUE 5 heterogeneity refactor: a homogeneous grade-1.0 fleet must be
+// bit-identical to the pre-refactor kernel even when the catalog is spelled
+// out explicitly — the backend-profile layer may not perturb a single
+// decision, timestamp or RNG draw of the historical configurations.
+TEST(GoldenDeterminism, ExplicitBaselineCatalogIsBitIdenticalOnFig08) {
+  ExperimentConfig c = Fig08Smoke("pard");
+  PipelineSpec spec = MakeApp("lv");
+  spec.set_backends({BackendProfile{}});  // One explicit grade-1.0 profile.
+  c.custom_spec = std::move(spec);
+  ExpectGolden(Find("fig08-smoke-pard"), RunExperiment(c));
+}
+
+TEST(GoldenDeterminism, TwoIdenticalBaselineProfilesAreBitIdenticalUnderJitter) {
+  // Round-robin over two *identical* baseline profiles is the same fleet;
+  // the jitter config additionally pins the per-module RNG draw sequence.
+  ExperimentConfig c = Fig14aSmoke("pard");
+  c.runtime.exec_jitter = 0.05;
+  PipelineSpec spec = MakeLiveVideo();
+  BackendProfile a;
+  a.name = "a";
+  BackendProfile b;
+  b.name = "b";
+  spec.set_backends({a, b});
+  c.custom_spec = std::move(spec);
+  ExpectGolden(Find("fig14a-smoke-pard-jitter"), RunExperiment(c));
+}
+
+TEST(GoldenDeterminism, ExplicitBaselineCatalogIsBitIdenticalOnDynamicDag) {
+  ExperimentConfig c;
+  c.app = "da";
+  c.trace = "wiki";
+  c.policy = "pard-path";
+  c.duration_s = 1.5;
+  c.base_rate = 40.0;
+  c.seed = 7;
+  c.runtime.dynamic_paths = true;
+  PipelineSpec spec = MakeApp("da");
+  spec.set_backends({BackendProfile{}});
+  c.custom_spec = std::move(spec);
+  ExpectGolden(Find("dag-dynamic-pard-path"), RunExperiment(c));
+}
+
 TEST(GoldenDeterminism, ShardedRunMatchesPreRefactorKernel) {
   ExperimentConfig c;
   c.app = "lv";

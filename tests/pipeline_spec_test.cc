@@ -194,5 +194,94 @@ TEST(Apps, AllModelsRegistered) {
   }
 }
 
+TEST(BackendProfile, JsonRoundTripPreservesEveryField) {
+  BackendProfile t4;
+  t4.name = "t4";
+  t4.speed_grade = 0.5;
+  t4.cold_start = 4 * kUsPerSec;
+  t4.module_scale = {{"object_detection", 1.25}};
+  const BackendProfile reloaded = BackendProfile::FromJson(t4.ToJson());
+  EXPECT_EQ(reloaded, t4);
+
+  BackendProfile baseline;  // Defaults: grade 1.0, inherited cold start.
+  EXPECT_TRUE(baseline.IsBaseline());
+  EXPECT_EQ(BackendProfile::FromJson(baseline.ToJson()), baseline);
+}
+
+TEST(BackendProfile, SpecLevelRoundTripCarriesCatalog) {
+  const PipelineSpec spec = MakeHeteroLiveVideo();
+  ASSERT_EQ(spec.backends().size(), 2u);
+  const PipelineSpec reloaded = PipelineSpec::FromJsonText(spec.ToJson().Dump());
+  ASSERT_EQ(reloaded.backends().size(), 2u);
+  EXPECT_EQ(reloaded.backends()[0], spec.backends()[0]);
+  EXPECT_EQ(reloaded.backends()[1], spec.backends()[1]);
+  // Specs without a catalog stay catalog-free through the round trip.
+  const PipelineSpec lv = MakeLiveVideo();
+  EXPECT_TRUE(PipelineSpec::FromJsonText(lv.ToJson().Dump()).backends().empty());
+}
+
+TEST(BackendProfile, UnknownFieldIsRejectedNotIgnored) {
+  // A typo'd field ("speed_grad") must fail the load with a clear error —
+  // the same discipline bench_util.h applies to unknown PARD_BENCH_* names.
+  const char* json = R"({"name": "t4", "speed_grad": 0.5})";
+  try {
+    BackendProfile::FromJson(ParseJson(json));
+    FAIL() << "typo'd backend-profile field was silently accepted";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("speed_grad"), std::string::npos);
+  }
+}
+
+TEST(BackendProfile, SpecJsonWithUnknownBackendFieldThrows) {
+  PipelineSpec spec = MakeLiveVideo();
+  JsonValue doc = spec.ToJson();
+  JsonObject profile;
+  profile["name"] = "t4";
+  profile["cold_start"] = 3.0;  // Wrong name: the schema says cold_start_ms.
+  JsonArray backends;
+  backends.emplace_back(std::move(profile));
+  doc.AsObject()["backends"] = std::move(backends);
+  EXPECT_THROW(PipelineSpec::FromJson(doc), JsonError);
+}
+
+TEST(BackendProfile, ValidationRejectsBadGradesAndUnknownModels) {
+  BackendProfile bad;
+  bad.speed_grade = 0.0;
+  EXPECT_THROW(bad.Validate(), CheckError);
+  bad.speed_grade = -1.0;
+  EXPECT_THROW(bad.Validate(), CheckError);
+
+  // module_scale keys must name models that exist in the pipeline.
+  PipelineSpec lv = MakeLiveVideo();
+  BackendProfile scaler;
+  scaler.module_scale = {{"no_such_model", 1.5}};
+  EXPECT_THROW(lv.set_backends({scaler}), CheckError);
+
+  BackendProfile zero_scale;
+  zero_scale.module_scale = {{"face_recognition", 0.0}};
+  EXPECT_THROW(lv.set_backends({zero_scale}), CheckError);
+}
+
+TEST(BackendProfile, ExecScaleCombinesGradeAndModuleScale) {
+  BackendProfile t4;
+  t4.speed_grade = 0.5;
+  t4.module_scale = {{"face_recognition", 1.25}};
+  EXPECT_DOUBLE_EQ(t4.ExecScaleFor("face_recognition"), 1.25 / 0.5);
+  EXPECT_DOUBLE_EQ(t4.ExecScaleFor("pose_recognition"), 2.0);
+  BackendProfile baseline;
+  EXPECT_DOUBLE_EQ(baseline.ExecScaleFor("anything"), 1.0);
+}
+
+TEST(BackendProfile, ParseBackendGradesBuildsCatalog) {
+  const auto catalog = ParseBackendGrades("1.0, 0.5,0.25");
+  ASSERT_EQ(catalog.size(), 3u);
+  EXPECT_DOUBLE_EQ(catalog[0].speed_grade, 1.0);
+  EXPECT_DOUBLE_EQ(catalog[1].speed_grade, 0.5);
+  EXPECT_DOUBLE_EQ(catalog[2].speed_grade, 0.25);
+  EXPECT_THROW(ParseBackendGrades("1.0,zero"), CheckError);
+  EXPECT_THROW(ParseBackendGrades("-1"), CheckError);
+  EXPECT_THROW(ParseBackendGrades(""), CheckError);
+}
+
 }  // namespace
 }  // namespace pard

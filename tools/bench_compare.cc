@@ -6,6 +6,13 @@
 //
 //   bench_compare bench/BENCH_PR3.json now.json --threshold 0.30 --report compare.txt
 //
+// A second mode renders the per-PR baseline series as a markdown trajectory
+// table (the perf dashboard the ROADMAP asks for; CI uploads it as an
+// artifact):
+//
+//   bench_compare --history bench/BENCH_PR3.json bench/BENCH_PR4.json bench/BENCH_PR5.json
+//                 --report bench_history.md
+//
 // Default gates cover the hot-path counters the PR 3 overhaul engineered:
 // event schedule/fire, schedule/cancel, and the warm-epoch broker decision.
 // A gated benchmark missing from the current report is itself a failure
@@ -86,6 +93,90 @@ bool IsGated(const std::string& name, const std::vector<std::string>& gates) {
   return false;
 }
 
+// "bench/BENCH_PR4.json" -> "BENCH_PR4".
+std::string FileLabel(const std::string& path) {
+  std::string label = path;
+  if (const std::size_t slash = label.find_last_of("/\\"); slash != std::string::npos) {
+    label = label.substr(slash + 1);
+  }
+  if (label.size() > 5 && label.substr(label.size() - 5) == ".json") {
+    label = label.substr(0, label.size() - 5);
+  }
+  return label;
+}
+
+// --history: renders the baseline series as a markdown trajectory table.
+// Rows are the union of benchmark names; the final column is the
+// newest/oldest ratio (blank when either end is missing). Exit 0 on
+// success, 2 on IO/parse problems — there is no pass/fail judgement here,
+// the gate mode owns that.
+int RenderHistory(const std::vector<std::string>& paths, const std::string& report_path) {
+  std::vector<std::map<std::string, BenchRow>> reports;
+  std::vector<std::string> labels;
+  try {
+    for (const std::string& path : paths) {
+      reports.push_back(LoadReport(path));
+      labels.push_back(FileLabel(path));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+  std::map<std::string, bool> names;
+  for (const auto& report : reports) {
+    for (const auto& [name, row] : report) {
+      (void)row;
+      names[name] = true;
+    }
+  }
+  std::string table = "# Perf trajectory (cpu time per iteration, ns)\n\n| benchmark |";
+  for (const std::string& label : labels) {
+    table += " " + label + " |";
+  }
+  table += " " + labels.back() + "/" + labels.front() + " |\n|---|";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    table += "---:|";
+  }
+  table += "---:|\n";
+  for (const auto& [name, present] : names) {
+    (void)present;
+    table += "| " + name + " |";
+    const BenchRow* first = nullptr;
+    const BenchRow* last = nullptr;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto it = reports[i].find(name);
+      if (it == reports[i].end()) {
+        table += " - |";
+        continue;
+      }
+      table += pard::StrFormat(" %.1f |", it->second.cpu_time_ns);
+      if (first == nullptr) {
+        first = &it->second;
+      }
+      if (i + 1 == reports.size()) {
+        last = &it->second;
+      }
+    }
+    if (first != nullptr && last != nullptr && first->cpu_time_ns > 0.0 &&
+        reports.front().count(name) != 0) {
+      table += pard::StrFormat(" %.3fx |\n", last->cpu_time_ns / first->cpu_time_ns);
+    } else {
+      table += " - |\n";
+    }
+  }
+  std::printf("%s", table.c_str());
+  if (!report_path.empty()) {
+    FILE* out = std::fopen(report_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    std::fwrite(table.data(), 1, table.size(), out);
+    std::fclose(out);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,12 +186,23 @@ int main(int argc, char** argv) {
   flags.AddString("gates", "BM_EventScheduleFire,BM_EventScheduleCancel,BM_BrokerDecisionWarmEpoch",
                   "comma-separated name substrings whose slowdown fails the gate");
   flags.AddString("report", "", "also write the comparison table to this file");
+  flags.AddBool("history", false,
+                "render the given reports (oldest first, e.g. the bench/BENCH_PR*.json "
+                "series) as a markdown trajectory table instead of gating");
   try {
     flags.Parse(argc - 1, argv + 1);
   } catch (const pard::CheckError& e) {
     std::fprintf(stderr, "%s\n%s", e.what(),
                  flags.Usage("bench_compare <baseline.json> <current.json>").c_str());
     return 2;
+  }
+  if (flags.GetBool("history")) {
+    if (flags.HelpRequested() || flags.positional().empty()) {
+      std::printf("%s", flags.Usage("bench_compare --history <oldest.json> ... <newest.json>")
+                            .c_str());
+      return flags.HelpRequested() ? 0 : 2;
+    }
+    return RenderHistory(flags.positional(), flags.GetString("report"));
   }
   if (flags.HelpRequested() || flags.positional().size() != 2) {
     std::printf("%s", flags.Usage("bench_compare <baseline.json> <current.json>").c_str());

@@ -24,6 +24,10 @@ constexpr AppFile kAppFiles[] = {
     {"lv", "live_video.json"},
     {"gm", "game_analysis.json"},
     {"da", "dag_live_video.json"},
+    // Heterogeneous-backend extension: lv on a mixed a100/t4 catalog. The
+    // emitted "backends" array is the reference for the profile JSON schema
+    // (see README "Heterogeneous backends & fleet dynamics").
+    {"lvhet", "hetero_live_video.json"},
 };
 
 }  // namespace

@@ -4,7 +4,12 @@
 // a full JSON report. Example:
 //
 //   pardsim --app lv --trace tweet --policy pard --duration-s 150
-//           --base-rate 200 --scaling --json
+//           --base-rate 200 --enable-scaling --json
+//
+// Heterogeneous fleets and fleet dynamics:
+//
+//   pardsim --app lv --backend-grades 1.0,0.5 --fault-schedule 60:1:kill:2,80:1:add:2
+//           --serve --enable-scaling --speedup 25
 //
 // Long traces can be time-sharded across cores: --shards N splits the
 // arrival stream into N independent runtimes executed on --jobs worker
@@ -19,13 +24,16 @@
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
 #include "metrics/report.h"
+#include "pipeline/apps.h"
+#include "pipeline/backend_profile.h"
 #include "pipeline/pipeline_spec.h"
+#include "runtime/backend_fleet.h"
 
 namespace {
 
 pard::FlagSet BuildFlags() {
   pard::FlagSet flags;
-  flags.AddString("app", "lv", "pipeline application: tm | lv | gm | da");
+  flags.AddString("app", "lv", "pipeline application: tm | lv | gm | da | lvhet");
   flags.AddString("trace", "tweet", "workload trace: wiki | tweet | azure");
   flags.AddString("policy", "pard",
                   "drop policy: pard, nexus, clipper++, naive, pard-back, pard-sf, "
@@ -50,9 +58,18 @@ pard::FlagSet BuildFlags() {
   flags.AddInt("shards", 1,
                "time-shard the trace across this many independent runtimes (1 = exact "
                "single-runtime simulation)");
-  flags.AddBool("scaling", true,
-                "enable the resource-scaling engine (forced off in --serve mode: the "
-                "serving fleet is fixed for the run)");
+  flags.AddBool("enable-scaling", true,
+                "enable the resource-scaling engine (both substrates; in --serve mode "
+                "scale-ups are real threads that serve after their backend's cold "
+                "start, capped at the serving thread budget)");
+  flags.AddString("backend-grades", "",
+                  "comma-separated speed grades composing a heterogeneous backend "
+                  "catalog (e.g. 1.0,0.5); workers draw grades round-robin. "
+                  "Conflicts with a pipeline that already declares backends");
+  flags.AddString("fault-schedule", "",
+                  "deterministic fleet disturbances: comma-separated "
+                  "<at_s>:<module>:<kill|add>:<count> events (e.g. "
+                  "60:1:kill:2,80:1:add:2), honored by both substrates");
   flags.AddBool("dynamic-paths", false, "requests take one branch per fork (dynamic DAG)");
   flags.AddBool("json", false, "emit a full JSON report instead of text");
   flags.AddBool("serve", false,
@@ -100,8 +117,16 @@ int main(int argc, char** argv) {
   }
   config.params.mc_samples = static_cast<int>(mc_samples);
   config.runtime.stats_window = pard::SecToUs(flags.GetDouble("window-s"));
-  config.runtime.enable_scaling = flags.GetBool("scaling");
+  config.runtime.enable_scaling = flags.GetBool("enable-scaling");
   config.runtime.dynamic_paths = flags.GetBool("dynamic-paths");
+  if (!flags.GetString("fault-schedule").empty()) {
+    try {
+      config.runtime.fleet_events = pard::ParseFaultSchedule(flags.GetString("fault-schedule"));
+    } catch (const pard::CheckError& e) {
+      std::fprintf(stderr, "--fault-schedule: %s\n", e.what());
+      return 2;
+    }
+  }
   if (flags.GetDouble("slo-ms") > 0.0) {
     config.slo_override = pard::MsToUs(flags.GetDouble("slo-ms"));
   }
@@ -118,7 +143,32 @@ int main(int argc, char** argv) {
       text.append(buf, n);
     }
     std::fclose(f);
-    config.custom_spec = pard::PipelineSpec::FromJsonText(text);
+    try {
+      config.custom_spec = pard::PipelineSpec::FromJsonText(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--pipeline-json %s: %s\n",
+                   flags.GetString("pipeline-json").c_str(), e.what());
+      return 2;
+    }
+  }
+  if (!flags.GetString("backend-grades").empty()) {
+    pard::PipelineSpec spec = config.custom_spec.has_value()
+                                  ? *config.custom_spec
+                                  : pard::MakeApp(config.app);
+    if (!spec.backends().empty()) {
+      std::fprintf(stderr,
+                   "--backend-grades conflicts with a pipeline that already declares a "
+                   "backend catalog (%s)\n",
+                   config.custom_spec.has_value() ? "--pipeline-json" : config.app.c_str());
+      return 2;
+    }
+    try {
+      spec.set_backends(pard::ParseBackendGrades(flags.GetString("backend-grades")));
+    } catch (const pard::CheckError& e) {
+      std::fprintf(stderr, "--backend-grades: %s\n", e.what());
+      return 2;
+    }
+    config.custom_spec = std::move(spec);
   }
 
   const int shards = static_cast<int>(flags.GetInt("shards"));
