@@ -18,20 +18,27 @@
 // "Performance").
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <algorithm>
 
 #include "common/rng.h"
 #include "core/latency_estimator.h"
+#include "core/pard_policy.h"
 #include "harness/experiment.h"
 #include "jsonio/json.h"
 #include "pipeline/apps.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
 #include "runtime/state_board.h"
+#include "serve/control_plane.h"
 #include "sim/simulation.h"
 #include "stats/minmax_heap.h"
 
@@ -241,6 +248,122 @@ void BM_StateSyncPayload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StateSyncPayload);
+
+// --- Control-plane admission (multithreaded) -------------------------------
+
+// The serving runtime's broker hot path under overload: one AdmitAtModule
+// plus one ShouldDrop per iteration against a published control snapshot
+// (PARD policy, live-video pipeline, 10 000 wait samples per module), while
+// a control thread keeps republishing state — each Sync() rebuilds the
+// policy view (~125 us of Monte-Carlo work) and swaps the snapshot, exactly
+// what the overload scenario's control loop does every period (compressed
+// here to microbenchmark timescales; the frequent-republication regime the
+// ROADMAP's dynamic-interference item needs). Run at 1, 4 and 8 broker
+// threads. The Locked variant forces every decision through the
+// pre-sharding single-mutex fallback — the PR 4/5 control plane, where
+// every decision waits out any in-flight Sync. The scaling claim is
+// Snapshot at 8 broker threads vs Locked at 1 (the PR 5 deployment: one
+// generator thread admitting inline against the mutex) — ≥3x measured even
+// on a single-core container, where the gap is pure reader-writer blocking;
+// with real cores the locked leg additionally pays cross-core line bouncing.
+// bench_compare gates the Snapshot counter against bench/BENCH_PR6.json
+// (see tests: bench_compare_pr6_self, and the CI bench-smoke job).
+struct AdmissionHarness {
+  explicit AdmissionHarness(bool force_locked) : spec(MakeLiveVideo()), board(5) {
+    ControlPlane::Options options;
+    options.force_locked = force_locked;
+    control = std::make_unique<ControlPlane>(&spec, &policy, &board, options);
+    Rng rng(11);
+    for (int i = 0; i < 5; ++i) {
+      ModuleState s;
+      s.module_id = i;
+      s.batch_duration = 10 * kUsPerMs;
+      s.wait_samples.reserve(10000);
+      for (int j = 0; j < 10000; ++j) {
+        s.wait_samples.push_back(rng.Uniform(0.0, 10000.0));
+      }
+      std::sort(s.wait_samples.begin(), s.wait_samples.end());
+      states.push_back(std::move(s));
+    }
+    control->Sync(states, sync_t);
+  }
+
+  // The benchmark-scope control loop: republish the same warm state with an
+  // advancing clock, with a breather between syncs so decision threads see
+  // alternating held/free windows rather than a permanently held lock.
+  void StartRepublisher() {
+    stop.store(false, std::memory_order_relaxed);
+    writer = std::thread([this] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        sync_t += kUsPerSec;
+        control->Sync(states, sync_t);
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+      }
+    });
+  }
+
+  void StopRepublisher() {
+    stop.store(true, std::memory_order_relaxed);
+    if (writer.joinable()) {
+      writer.join();
+    }
+  }
+
+  PipelineSpec spec;
+  StateBoard board;
+  PardPolicy policy;
+  std::unique_ptr<ControlPlane> control;
+  std::vector<ModuleState> states;
+  SimTime sync_t = kUsPerSec;
+  std::atomic<bool> stop{false};
+  std::thread writer;
+};
+
+void RunAdmissionLoop(benchmark::State& state, AdmissionHarness& harness) {
+  Request req;
+  req.id = static_cast<std::uint64_t>(state.thread_index()) + 1;
+  req.sent = kUsPerSec;
+  req.slo = harness.spec.slo();
+  req.deadline = req.sent + req.slo;
+  req.hops.resize(5);
+  const SimTime now = kUsPerSec + 5 * kUsPerMs;
+  AdmissionContext ctx;
+  ctx.request = &req;
+  ctx.module_id = 0;
+  ctx.now = now;
+  ctx.batch_start = now;
+  ctx.batch_duration = 10 * kUsPerMs;
+  ctx.batch_size = 8;
+  if (state.thread_index() == 0) {
+    harness.StartRepublisher();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.control->AdmitAtModule(req, 0, now));
+    benchmark::DoNotOptimize(harness.control->ShouldDrop(ctx));
+  }
+  if (state.thread_index() == 0) {
+    harness.StopRepublisher();
+  }
+  // Summed across threads, divided by wall time: fleet-wide decisions/sec.
+  state.counters["AdmissionDecisionsPerSec"] =
+      benchmark::Counter(2.0 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(2 * state.iterations());
+}
+
+void BM_AdmissionDecisionSnapshot(benchmark::State& state) {
+  // Leaked: shared by all benchmark threads, and the harness must outlive
+  // the last of them (static destruction order vs. detached reporters).
+  static AdmissionHarness* harness = new AdmissionHarness(/*force_locked=*/false);
+  RunAdmissionLoop(state, *harness);
+}
+BENCHMARK(BM_AdmissionDecisionSnapshot)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_AdmissionDecisionLocked(benchmark::State& state) {
+  static AdmissionHarness* harness = new AdmissionHarness(/*force_locked=*/true);
+  RunAdmissionLoop(state, *harness);
+}
+BENCHMARK(BM_AdmissionDecisionLocked)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
 
 // --- End to end ------------------------------------------------------------
 

@@ -17,4 +17,17 @@ bool ClipperPlusPolicy::ShouldDrop(const AdmissionContext& ctx) {
   return elapsed > cumulative_budgets_[static_cast<std::size_t>(ctx.module_id)];
 }
 
+std::shared_ptr<const PolicyView> ClipperPlusPolicy::MakeView() {
+  struct View final : PolicyView {
+    bool ShouldDrop(const AdmissionContext& ctx) const override {
+      return ctx.now - ctx.request->sent >
+             budgets[static_cast<std::size_t>(ctx.module_id)];
+    }
+    std::vector<Duration> budgets;
+  };
+  auto view = std::make_shared<View>();
+  view->budgets = cumulative_budgets_;
+  return view;
+}
+
 }  // namespace pard

@@ -9,6 +9,7 @@
 #ifndef PARD_BASELINES_CLIPPER_POLICY_H_
 #define PARD_BASELINES_CLIPPER_POLICY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,9 @@ class ClipperPlusPolicy : public DropPolicy {
   void Bind(const PipelineSpec* spec, const StateBoard* board) override;
 
   bool ShouldDrop(const AdmissionContext& ctx) override;
+
+  // Budgets are fixed at Bind(); the view copies them once.
+  std::shared_ptr<const PolicyView> MakeView() override;
 
   PopSide ChoosePopSide(int module_id, SimTime now) override {
     (void)module_id;

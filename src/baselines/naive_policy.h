@@ -4,6 +4,7 @@
 #ifndef PARD_BASELINES_NAIVE_POLICY_H_
 #define PARD_BASELINES_NAIVE_POLICY_H_
 
+#include <memory>
 #include <string>
 
 #include "runtime/drop_policy.h"
@@ -17,6 +18,13 @@ class NaivePolicy : public DropPolicy {
     return false;
   }
   bool PurgeExpired() const override { return false; }
+  // Stateless: the view is the policy.
+  std::shared_ptr<const PolicyView> MakeView() override {
+    struct View final : PolicyView {
+      bool ShouldDrop(const AdmissionContext&) const override { return false; }
+    };
+    return std::make_shared<View>();
+  }
   std::string Name() const override { return "naive"; }
 };
 

@@ -16,6 +16,7 @@
 #ifndef PARD_BASELINES_NEXUS_POLICY_H_
 #define PARD_BASELINES_NEXUS_POLICY_H_
 
+#include <memory>
 #include <string>
 
 #include "runtime/drop_policy.h"
@@ -34,6 +35,17 @@ class NexusPolicy : public DropPolicy {
     (void)module_id;
     (void)now;
     return PopSide::kOldest;
+  }
+
+  // Pure context arithmetic: snapshot-safe as-is.
+  std::shared_ptr<const PolicyView> MakeView() override {
+    struct View final : PolicyView {
+      bool ShouldDrop(const AdmissionContext& ctx) const override {
+        return (ctx.batch_start - ctx.request->sent) + ctx.batch_duration >
+               ctx.request->slo;
+      }
+    };
+    return std::make_shared<View>();
   }
 
   std::string Name() const override { return "nexus"; }

@@ -10,7 +10,9 @@
 #ifndef PARD_BASELINES_OVERLOAD_CONTROL_POLICY_H_
 #define PARD_BASELINES_OVERLOAD_CONTROL_POLICY_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "runtime/drop_policy.h"
@@ -49,6 +51,42 @@ class OverloadControlPolicy : public DropPolicy {
       return !rng_.Bernoulli(options_.alpha);
     }
     return true;
+  }
+
+  // Overload is a per-sync property (avg_queue_delay changes only when the
+  // board publishes), so the view precomputes the per-module flags; only the
+  // Bernoulli draw needs entropy, supplied by the control plane's striped
+  // admission RNGs.
+  std::shared_ptr<const PolicyView> MakeView() override {
+    struct View final : PolicyView {
+      bool ShouldDrop(const AdmissionContext&) const override { return false; }
+      bool NeedsAdmissionRng() const override { return true; }
+      bool AdmitAtModule(const Request& request, int module_id, SimTime now,
+                         Rng* rng) const override {
+        (void)request;
+        (void)now;
+        const bool here = overloaded[static_cast<std::size_t>(module_id)];
+        const bool ingress_shedding = module_id == source && any_overloaded;
+        if (here || ingress_shedding) {
+          return !rng->Bernoulli(alpha);
+        }
+        return true;
+      }
+      std::vector<bool> overloaded;
+      bool any_overloaded = false;
+      int source = 0;
+      double alpha = 0.0;
+    };
+    auto view = std::make_shared<View>();
+    view->source = spec_->SourceModule();
+    view->alpha = options_.alpha;
+    view->overloaded.resize(static_cast<std::size_t>(board_->NumModules()), false);
+    for (int id = 0; id < board_->NumModules(); ++id) {
+      const bool over = Overloaded(id);
+      view->overloaded[static_cast<std::size_t>(id)] = over;
+      view->any_overloaded = view->any_overloaded || over;
+    }
+    return view;
   }
 
   std::string Name() const override { return "pard-oc"; }

@@ -34,11 +34,16 @@
 //
 // Concurrency contract: NOT internally synchronized — every Estimate* call
 // may mutate the epoch cache and advances the Monte-Carlo RNG, and a board
-// publish invalidates entries mid-flight. Concurrent callers (the serving
-// runtime's module workers) must serialize estimator access and board
-// publishes behind one lock; ControlPlane (src/serve/control_plane.h) is
-// that lock, and the epoch cache is exactly why holding it is cheap: between
-// syncs a decision under the lock is a nanosecond cache read.
+// publish invalidates entries mid-flight. In the simulator one event loop
+// serializes everything. In the serving runtime the estimator is touched
+// from exactly one place: the control thread's Sync(), under the control
+// lock, where the policy refreshes the epoch cache (EstimateSubsequent /
+// PathEstimates) and copies the per-module estimates into the immutable
+// PolicyView it hands to ControlPlane's snapshot cell. Broker threads then
+// read those COPIES lock-free for the whole sync interval and never call
+// into the estimator at all. (A policy that opts out of snapshotting is
+// still safe: ControlPlane's locked fallback path serializes its estimator
+// use behind the control mutex, the pre-snapshot contract.)
 #ifndef PARD_CORE_LATENCY_ESTIMATOR_H_
 #define PARD_CORE_LATENCY_ESTIMATOR_H_
 
@@ -107,6 +112,15 @@ class LatencyEstimator {
 
   // Full aggregated-wait distribution for a path (Fig. 6 PDFs).
   EmpiricalDistribution AggregateWaitDistribution(const std::vector<int>& path);
+
+  // Per-path downstream estimates for module_id, aligned index-for-index
+  // with spec->DownstreamPaths(module_id), at the current board epoch
+  // (refreshes the epoch cache if stale). Policy MakeView() implementations
+  // copy these into their immutable snapshot at sync time; the reference is
+  // invalidated by the next board publish or Estimate*/PathEstimates call.
+  const std::vector<Duration>& PathEstimates(int module_id) {
+    return Refresh(module_id).per_path;
+  }
 
   const EstimatorOptions& options() const { return options_; }
 

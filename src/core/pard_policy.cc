@@ -8,6 +8,69 @@
 
 namespace pard {
 
+namespace {
+
+// The frozen decision inputs of one sync interval (see PardPolicy::MakeView).
+class PardView final : public PolicyView {
+ public:
+  bool ShouldDrop(const AdmissionContext& ctx) const override {
+    const Request& req = *ctx.request;
+    const Duration through_current = (ctx.batch_start - req.sent) + ctx.batch_duration;
+    if (split_scope) {
+      return through_current > cumulative_budgets[static_cast<std::size_t>(ctx.module_id)];
+    }
+    Duration sub = 0;
+    if (!backward_only) {
+      sub = path_prediction && req.HasDynamicPath()
+                ? PathConsistentEstimate(ctx.module_id, req)
+                : sub_max[static_cast<std::size_t>(ctx.module_id)];
+    }
+    return through_current + sub > req.slo;
+  }
+
+  PopSide ChoosePopSide(int module_id, SimTime now) const override {
+    (void)now;
+    return sides[static_cast<std::size_t>(module_id)];
+  }
+
+  // Same path-consistency walk as EstimateSubsequentForRequest, over the
+  // per-path estimates frozen at sync time.
+  Duration PathConsistentEstimate(int module_id, const Request& request) const {
+    const auto& paths = spec->DownstreamPaths(module_id);
+    const auto& estimates = per_path[static_cast<std::size_t>(module_id)];
+    Duration best = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      int prev = module_id;
+      bool consistent = true;
+      for (int id : paths[i]) {
+        const int choice = request.branch_choice[static_cast<std::size_t>(prev)];
+        if (spec->Module(prev).subs.size() > 1 && choice != id) {
+          consistent = false;
+          break;
+        }
+        prev = id;
+      }
+      if (consistent) {
+        best = std::max(best, estimates[i]);
+        any = true;
+      }
+    }
+    return any ? best : sub_max[static_cast<std::size_t>(module_id)];
+  }
+
+  const PipelineSpec* spec = nullptr;
+  bool split_scope = false;
+  bool backward_only = false;
+  bool path_prediction = false;
+  std::vector<Duration> cumulative_budgets;        // Split scopes only.
+  std::vector<Duration> sub_max;                   // Max L_sub per module.
+  std::vector<std::vector<Duration>> per_path;     // Path prediction only.
+  std::vector<PopSide> sides;                      // Frozen priority sides.
+};
+
+}  // namespace
+
 PardPolicy::PardPolicy(PardOptions options) : options_(options) {}
 
 void PardPolicy::Bind(const PipelineSpec* spec, const StateBoard* board) {
@@ -83,6 +146,36 @@ void PardPolicy::OnSync(SimTime now) {
     }
     cumulative_budgets_ = CumulativeBudgetsFromWeights(*spec_, weights, spec_->slo());
   }
+}
+
+std::shared_ptr<const PolicyView> PardPolicy::MakeView() {
+  PARD_CHECK(spec_ != nullptr);
+  auto view = std::make_shared<PardView>();
+  view->spec = spec_;
+  view->split_scope = options_.budget_scope != PardOptions::BudgetScope::kEndToEnd;
+  view->backward_only = options_.backward_only;
+  view->path_prediction = options_.path_prediction;
+  if (view->split_scope) {
+    view->cumulative_budgets = cumulative_budgets_;
+  }
+  const std::size_t n = static_cast<std::size_t>(spec_->NumModules());
+  view->sub_max.resize(n, 0);
+  view->sides.resize(n, PopSide::kOldest);
+  if (view->path_prediction) {
+    view->per_path.resize(n);
+  }
+  for (int id = 0; id < spec_->NumModules(); ++id) {
+    view->sides[static_cast<std::size_t>(id)] = ChoosePopSide(id, 0);
+    // Split scopes and PARD-back never consult the estimator; skipping the
+    // refresh keeps their views as cheap as their decisions.
+    if (!view->split_scope && !view->backward_only) {
+      view->sub_max[static_cast<std::size_t>(id)] = estimator_->EstimateSubsequent(id);
+      if (view->path_prediction) {
+        view->per_path[static_cast<std::size_t>(id)] = estimator_->PathEstimates(id);
+      }
+    }
+  }
+  return view;
 }
 
 const AdaptivePriority& PardPolicy::priority(int module_id) const {

@@ -63,6 +63,12 @@ class PardPolicy : public DropPolicy {
   bool ShouldDrop(const AdmissionContext& ctx) override;
   PopSide ChoosePopSide(int module_id, SimTime now) override;
   void OnSync(SimTime now) override;
+  // Immutable decision snapshot for the serving control plane: per-module
+  // L_sub (max and per-path) from the estimator's freshly-refreshed epoch
+  // cache, the current priority sides and split budgets. Broker decisions
+  // against the view are pure arithmetic — no estimator, RNG or board
+  // access — so they run lock-free between syncs.
+  std::shared_ptr<const PolicyView> MakeView() override;
   std::string Name() const override;
 
   // Introspection for tests and the Fig. 13 bench.

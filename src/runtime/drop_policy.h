@@ -12,6 +12,7 @@
 #ifndef PARD_RUNTIME_DROP_POLICY_H_
 #define PARD_RUNTIME_DROP_POLICY_H_
 
+#include <memory>
 #include <string>
 
 #include "common/time_types.h"
@@ -22,6 +23,8 @@
 
 namespace pard {
 
+class Rng;
+
 // Everything the Request Broker knows when deciding on one request.
 struct AdmissionContext {
   const Request* request = nullptr;
@@ -30,6 +33,49 @@ struct AdmissionContext {
   SimTime batch_start = 0;    // Expected t_e of the batch being formed.
   Duration batch_duration = 0;  // d_k at the module's planned batch size.
   int batch_size = 1;
+};
+
+// Immutable decision snapshot of a policy, valid for one sync interval.
+//
+// The serving control plane asks the policy for a fresh view after every
+// OnSync() (under the control lock) and publishes it through an RCU-style
+// snapshot cell; between syncs broker threads call the view's const methods
+// with NO lock held. A view must therefore be self-contained: every decision
+// input (estimates, budgets, priority sides, overload flags) is copied out
+// of the policy at build time, and the const methods may not touch mutable
+// policy or board state.
+//
+// Randomized admission (the DAGOR-style baseline's Bernoulli shed) cannot be
+// lock-free with a shared RNG, so a view declares NeedsAdmissionRng() and
+// the control plane hands AdmitAtModule() an exclusively-held RNG from its
+// striped admission shards — contention spreads across shards instead of
+// serializing on one mutex.
+class PolicyView {
+ public:
+  virtual ~PolicyView() = default;
+
+  // Request Broker predicate; same semantics as DropPolicy::ShouldDrop.
+  virtual bool ShouldDrop(const AdmissionContext& ctx) const = 0;
+
+  // Queue-order decision; fixed per module until the next sync.
+  virtual PopSide ChoosePopSide(int module_id, SimTime now) const {
+    (void)module_id;
+    (void)now;
+    return PopSide::kOldest;
+  }
+
+  // Enqueue-time admission. `rng` is non-null iff NeedsAdmissionRng(): the
+  // control plane's per-shard RNG, exclusively held for this call.
+  virtual bool AdmitAtModule(const Request& request, int module_id, SimTime now,
+                             Rng* rng) const {
+    (void)request;
+    (void)module_id;
+    (void)now;
+    (void)rng;
+    return true;
+  }
+
+  virtual bool NeedsAdmissionRng() const { return false; }
 };
 
 class DropPolicy {
@@ -69,6 +115,14 @@ class DropPolicy {
 
   // Invoked right after every state-board sync.
   virtual void OnSync(SimTime now) { (void)now; }
+
+  // Builds an immutable decision snapshot of this policy's current state
+  // (see PolicyView). The serving control plane calls this under its lock
+  // right after OnSync(); the returned view is then read lock-free by every
+  // broker until the next sync replaces it. Returning nullptr (the default)
+  // opts the policy out of snapshotting: the control plane falls back to
+  // serializing every decision behind its mutex, which is always correct.
+  virtual std::shared_ptr<const PolicyView> MakeView() { return nullptr; }
 
   virtual std::string Name() const = 0;
 

@@ -37,6 +37,13 @@ class RateMonitor {
   // eps = sum|count - mean| / sum count over in-window bins; 0 with < 2 bins.
   double Burstiness(SimTime now);
 
+  // Sums another monitor's bins into this one. Bins align on absolute
+  // 1-second boundaries, so merging N per-shard monitors reproduces the
+  // exact counts one monitor would have observed — ServeModule's snapshot
+  // merges its queue shards' monitors through a scratch instance this way.
+  // Both monitors should share the same window length.
+  void Merge(const RateMonitor& other);
+
  private:
   void Evict(SimTime now);
 

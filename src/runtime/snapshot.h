@@ -1,0 +1,204 @@
+// RCU-style snapshot cell with epoch-based reclamation.
+//
+// Single writer, many readers. The writer publishes immutable versions of T;
+// readers pin the current version wait-free (one CAS on a private slot) and
+// read it without any lock. C++17 has no std::atomic<std::shared_ptr>, so
+// the grace period is tracked explicitly:
+//
+//   - The cell keeps a monotone epoch counter, starting at 1, bumped on
+//     every Publish().
+//   - A reader claims one of kSlots reader slots by CAS'ing 0 -> e, where e
+//     is the epoch it observed at claim time, then loads the current
+//     pointer. The slot stays claimed (and the version pinned) until the
+//     returned ReadRef is destroyed.
+//   - The writer never frees a replaced version immediately: it goes onto a
+//     writer-private retired list tagged with the epoch at which it was
+//     replaced. A retired version is freed only once every claimed slot
+//     holds an epoch strictly greater than its retire epoch.
+//
+// Why that is safe (all critical accesses are seq_cst, so they have one
+// total order): a reader's slot-store S precedes its pointer-load L. If L
+// returned a version v that the writer later replaced with exchange X, then
+// L < X in the total order (otherwise L would have seen the replacement),
+// hence S < X < the writer's subsequent slot scan. The scan therefore sees
+// the reader's claimed epoch e, and e <= retire_epoch(v) because the epoch
+// counter had not yet passed v's replacement when S executed. The reclaim
+// condition retire_epoch < min(claimed epochs) thus cannot fire while any
+// reader can still dereference v. Claimed epochs lag (a reader may observe
+// a stale epoch before claiming), but staleness only lowers e — strictly
+// more conservative.
+//
+// Costs: Read() is one CAS + one load on the hot path (no contention unless
+// two threads hash to the same slot); Publish() is O(kSlots + retired) and
+// is meant for a once-per-sync cadence. Debug builds additionally check the
+// single-writer contract and epoch monotonicity (PARD_CHECK -> CheckError).
+//
+// The destructor frees the current and all retired versions; the caller
+// must guarantee no reader or writer is active by then (the serve runtime
+// joins every thread before tearing down the control plane).
+#ifndef PARD_RUNTIME_SNAPSHOT_H_
+#define PARD_RUNTIME_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pard {
+
+template <typename T>
+class SnapshotCell {
+ public:
+  // Pins one published version for the guard's lifetime. Move-only.
+  class ReadRef {
+   public:
+    ReadRef(ReadRef&& other) noexcept
+        : value_(other.value_), slot_(other.slot_), epoch_(other.epoch_) {
+      other.slot_ = nullptr;
+    }
+    ReadRef(const ReadRef&) = delete;
+    ReadRef& operator=(const ReadRef&) = delete;
+    ReadRef& operator=(ReadRef&&) = delete;
+
+    ~ReadRef() {
+      if (slot_ != nullptr) {
+        slot_->store(0, std::memory_order_release);
+      }
+    }
+
+    const T& operator*() const { return *value_; }
+    const T* operator->() const { return value_; }
+    // Epoch observed at claim time (for the monotonicity invariant tests).
+    std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class SnapshotCell;
+    ReadRef(const T* value, std::atomic<std::uint64_t>* slot, std::uint64_t epoch)
+        : value_(value), slot_(slot), epoch_(epoch) {}
+
+    const T* value_;
+    std::atomic<std::uint64_t>* slot_;
+    std::uint64_t epoch_;
+  };
+
+  explicit SnapshotCell(std::unique_ptr<const T> initial)
+      : current_(initial.release()) {
+    PARD_CHECK(current_.load(std::memory_order_relaxed) != nullptr);
+  }
+
+  ~SnapshotCell() {
+    delete current_.load(std::memory_order_relaxed);
+    for (const Retired& r : retired_) {
+      delete r.value;
+    }
+  }
+
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  // Lock-free reader pin. Spins (with yield) only in the pathological case
+  // of > kSlots simultaneous readers.
+  ReadRef Read() const {
+    const std::size_t start = SlotHint();
+    for (;;) {
+      const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        std::atomic<std::uint64_t>& slot = slots_[(start + i) % kSlots].epoch;
+        std::uint64_t expected = 0;
+        if (slot.compare_exchange_strong(expected, e, std::memory_order_seq_cst)) {
+          const T* value = current_.load(std::memory_order_seq_cst);
+          return ReadRef(value, &slot, e);
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // Single-writer publish: installs `next`, retires the previous version,
+  // and reclaims every retired version no reader can still hold.
+  void Publish(std::unique_ptr<const T> next) {
+    PARD_CHECK(next != nullptr);
+#ifndef NDEBUG
+    PARD_CHECK_MSG(!publishing_.exchange(true),
+                   "SnapshotCell: concurrent Publish violates the single-writer contract");
+#endif
+    const T* replaced = current_.exchange(next.release(), std::memory_order_seq_cst);
+    const std::uint64_t retire_epoch = epoch_.load(std::memory_order_relaxed);
+#ifndef NDEBUG
+    PARD_CHECK_MSG(retired_.empty() || retired_.back().epoch < retire_epoch,
+                   "SnapshotCell: retire epochs must be strictly increasing");
+#endif
+    epoch_.store(retire_epoch + 1, std::memory_order_seq_cst);
+    retired_.push_back(Retired{replaced, retire_epoch});
+    Reclaim();
+#ifndef NDEBUG
+    publishing_.store(false);
+#endif
+  }
+
+  // Current epoch; starts at 1, +1 per Publish. Monotone by construction.
+  std::uint64_t Epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  // Writer-side stats for the reclamation tests: versions awaiting a grace
+  // period, and versions freed so far.
+  std::size_t RetiredCount() const { return retired_.size(); }
+  std::uint64_t ReclaimedCount() const { return reclaimed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Retired {
+    const T* value;
+    std::uint64_t epoch;  // Epoch during which this version was replaced.
+  };
+
+  // One cache line per slot so concurrent readers do not false-share.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = free.
+  };
+
+  static constexpr std::size_t kSlots = 64;
+
+  // Spreads threads across slots; claims fall back to a linear scan.
+  static std::size_t SlotHint() {
+    thread_local const std::size_t hint =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+    return hint;
+  }
+
+  // Writer only. Frees retired versions older than every claimed epoch.
+  void Reclaim() {
+    std::uint64_t min_claimed = ~std::uint64_t{0};
+    for (const Slot& slot : slots_) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min_claimed) {
+        min_claimed = e;
+      }
+    }
+    std::size_t freed = 0;
+    while (freed < retired_.size() && retired_[freed].epoch < min_claimed) {
+      delete retired_[freed].value;
+      ++freed;
+    }
+    if (freed > 0) {
+      retired_.erase(retired_.begin(), retired_.begin() + static_cast<std::ptrdiff_t>(freed));
+      reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<const T*> current_;
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable Slot slots_[kSlots];
+  std::vector<Retired> retired_;  // Writer-private; oldest first.
+  std::atomic<std::uint64_t> reclaimed_{0};
+#ifndef NDEBUG
+  std::atomic<bool> publishing_{false};
+#endif
+};
+
+}  // namespace pard
+
+#endif  // PARD_RUNTIME_SNAPSHOT_H_

@@ -9,9 +9,15 @@
 // Concurrency contract: not internally synchronized. Publish() replaces a
 // snapshot and bumps the version counter that estimator epoch caches key
 // on, so readers racing a publish could observe a torn (state, version)
-// pair. The simulator's event loop serializes everything; the serving
-// runtime routes every read and publish through the ControlPlane facade's
-// single mutex (src/serve/control_plane.h).
+// pair. The simulator's event loop serializes everything. The serving
+// runtime never lets worker threads touch this object at all: only the
+// control thread publishes (under the ControlPlane's control lock, once per
+// sync period), and after each publish the ControlPlane copies the board
+// into an immutable ControlSnapshot released through an RCU-style cell
+// (src/serve/control_plane.h, src/runtime/snapshot.h). Brokers read that
+// snapshot — a consistent (states, version, policy view) triple — without
+// locking; they can be up to one sync period stale, exactly like the gRPC
+// state exchange in the real system.
 #ifndef PARD_RUNTIME_STATE_BOARD_H_
 #define PARD_RUNTIME_STATE_BOARD_H_
 

@@ -1,39 +1,100 @@
 #include "serve/control_plane.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/lock_order.h"
 
 namespace pard {
 
-ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board)
-    : policy_(policy), board_(board) {
+ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board,
+                           Options options)
+    : policy_(policy),
+      board_(board),
+      force_locked_(options.force_locked),
+      snapshot_(std::make_unique<const ControlSnapshot>()) {
   PARD_CHECK(spec != nullptr && policy_ != nullptr && board_ != nullptr);
+  PARD_CHECK(options.admission_shards >= 1);
   policy_->Bind(spec, board_);
   purge_expired_ = policy_->PurgeExpired();
+  Rng seeder(options.seed);
+  for (int i = 0; i < options.admission_shards; ++i) {
+    auto shard = std::make_unique<AdmissionShard>();
+    shard->rng = seeder.Fork("admission-shard:" + std::to_string(i));
+    shards_.push_back(std::move(shard));
+  }
+  // Replace the placeholder published at member construction with a real
+  // snapshot (the policy is bound now, so it can build a view).
+  auto initial = BuildSnapshot();
+  has_view_ = initial->view != nullptr;
+  snapshot_.Publish(std::move(initial));
+}
+
+ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board)
+    : ControlPlane(spec, policy, board, Options()) {}
+
+std::unique_ptr<const ControlSnapshot> ControlPlane::BuildSnapshot() {
+  auto snap = std::make_unique<ControlSnapshot>();
+  snap->board_version = board_->Version();
+  snap->states.reserve(static_cast<std::size_t>(board_->NumModules()));
+  for (int id = 0; id < board_->NumModules(); ++id) {
+    snap->states.push_back(board_->Get(id));
+  }
+  snap->view = policy_->MakeView();
+  return snap;
 }
 
 bool ControlPlane::ShouldDrop(const AdmissionContext& ctx) {
+  if (!force_locked_) {
+    auto snap = snapshot_.Read();
+    if (snap->view != nullptr) {
+      return snap->view->ShouldDrop(ctx);
+    }
+  }
+  LockOrderGuard order(LockRank::kControl);
   std::lock_guard<std::mutex> lock(mu_);
   return policy_->ShouldDrop(ctx);
 }
 
 PopSide ControlPlane::ChoosePopSide(int module_id, SimTime now) {
+  if (!force_locked_) {
+    auto snap = snapshot_.Read();
+    if (snap->view != nullptr) {
+      return snap->view->ChoosePopSide(module_id, now);
+    }
+  }
+  LockOrderGuard order(LockRank::kControl);
   std::lock_guard<std::mutex> lock(mu_);
   return policy_->ChoosePopSide(module_id, now);
 }
 
 bool ControlPlane::AdmitAtModule(const Request& request, int module_id, SimTime now) {
+  if (!force_locked_) {
+    auto snap = snapshot_.Read();
+    if (snap->view != nullptr) {
+      if (!snap->view->NeedsAdmissionRng()) {
+        return snap->view->AdmitAtModule(request, module_id, now, nullptr);
+      }
+      AdmissionShard& shard = ShardFor(request);
+      LockOrderGuard order(LockRank::kAdmissionShard);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      return snap->view->AdmitAtModule(request, module_id, now, &shard.rng);
+    }
+  }
+  LockOrderGuard order(LockRank::kControl);
   std::lock_guard<std::mutex> lock(mu_);
   return policy_->AdmitAtModule(request, module_id, now);
 }
 
 void ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
+  LockOrderGuard order(LockRank::kControl);
   std::lock_guard<std::mutex> lock(mu_);
   for (ModuleState& state : states) {
     board_->Publish(std::move(state));
   }
   policy_->OnSync(now);
+  snapshot_.Publish(BuildSnapshot());
 }
 
 }  // namespace pard

@@ -1,56 +1,128 @@
-// Thread-safe facade over the drop policy, latency estimator and StateBoard.
+// The serve-side control plane: lock-free broker reads over RCU snapshots.
 //
 // None of the decision-time machinery is internally synchronized: the
-// estimator's epoch cache and RNG mutate on every ShouldDrop(), the adaptive
+// estimator's epoch cache and RNG mutate on every estimate, the adaptive
 // priority controllers mutate on OnSync(), and StateBoard::Publish bumps the
-// version counter the caches key on. In the simulator a single event loop
-// serializes all of it for free; in the serving runtime many module workers
-// decide concurrently, so every policy/board touch goes through this facade
-// and its single mutex.
+// version counter the caches key on. The simulator's single event loop
+// serializes all of it for free; in the serving runtime many broker threads
+// (module workers forming batches plus ingress admission threads) decide
+// concurrently. PR 4's answer was one mutex around everything — correct,
+// but every decision serialized. This control plane splits the problem by
+// write frequency instead:
 //
-// One lock for the whole control plane is deliberate (and cheap): between
-// state syncs a PARD broker decision is an epoch-cache read — nanoseconds
-// under the lock — and syncs are once per virtual second. TSan-cleanliness
-// of the serve suite pins the contract.
+//   READ PATH (hot, every request): ShouldDrop / ChoosePopSide /
+//   AdmitAtModule pin the current ControlSnapshot through an epoch-based
+//   SnapshotCell (runtime/snapshot.h) — one CAS, no mutex — and decide
+//   against the policy's immutable PolicyView. Decisions within one pin are
+//   mutually consistent: they all see the same sync's state.
 //
-// Lock ordering: module mutex → control mutex is the only permitted nesting
-// (workers decide while holding their module's lock). The sync path
-// therefore snapshots module state FIRST (module locks, one at a time) and
-// publishes SECOND (control lock), never holding both.
+//   WRITE PATH (cold, once per sync period): Sync() takes the control
+//   mutex, publishes the module states to the StateBoard, runs the policy's
+//   OnSync(), asks it for a fresh PolicyView (PARD refreshes its estimator
+//   epoch cache here — the Monte-Carlo work moves from first-decision-after-
+//   sync to the sync itself), and publishes the assembled snapshot. Retired
+//   snapshots are reclaimed once no reader pins them.
+//
+//   SHARDED RESIDUE: policies whose admission needs randomness (the DAGOR
+//   baseline's Bernoulli shed) draw from per-shard RNGs behind striped
+//   mutexes picked by request id, so admission entropy scales with shards
+//   instead of serializing globally.
+//
+// Policies that return no view (MakeView() == nullptr, the default for
+// out-of-tree policies) fall back to the single-mutex path — the exact
+// PR 4 behavior, also selectable via Options::force_locked as the baseline
+// leg of the bench/micro_overhead.cc admission benchmark.
+//
+// Lock ordering (enforced in debug builds by common/lock_order.h): a worker
+// may take the control mutex (fallback path) or an admission-shard mutex
+// while holding its module's queue-shard lock, never the reverse. The sync
+// path snapshots module state FIRST (module-side locks, one at a time) and
+// publishes SECOND (control lock), never holding both. TSan-cleanliness of
+// the serve suite pins the whole contract.
 #ifndef PARD_SERVE_CONTROL_PLANE_H_
 #define PARD_SERVE_CONTROL_PLANE_H_
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/rng.h"
 #include "runtime/drop_policy.h"
+#include "runtime/snapshot.h"
 #include "runtime/state_board.h"
 
 namespace pard {
 
+// One sync interval's frozen control state: the board states as published,
+// and the policy's immutable decision view (null when the policy opted out
+// of snapshotting).
+struct ControlSnapshot {
+  std::uint64_t board_version = 0;
+  std::vector<ModuleState> states;
+  std::shared_ptr<const PolicyView> view;
+};
+
 class ControlPlane {
  public:
+  struct Options {
+    // Striped admission-RNG shards for randomized admission policies.
+    int admission_shards = 8;
+    // Seeds the per-shard RNG forks.
+    std::uint64_t seed = 1234;
+    // Forces every decision through the single-mutex fallback even when the
+    // policy provides a view — the pre-sharding baseline, kept honest by
+    // the bench/micro_overhead.cc admission benchmark.
+    bool force_locked = false;
+  };
+
   // `policy` and `board` must outlive the control plane. Binds the policy to
-  // the spec/board like PipelineRuntime does.
+  // the spec/board like PipelineRuntime does, and publishes the initial
+  // snapshot so readers never see an empty cell.
+  ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board,
+               Options options);
+  // Default options (no default argument: Options' member initializers are
+  // not usable until the enclosing class is complete).
   ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board);
 
-  // Request Broker decision (workers, batch formation / ingress admission).
+  // --- Request Broker decisions (lock-free snapshot reads) ----------------
   bool ShouldDrop(const AdmissionContext& ctx);
   PopSide ChoosePopSide(int module_id, SimTime now);
   bool AdmitAtModule(const Request& request, int module_id, SimTime now);
   // Lock-free: a fixed per-policy property, cached at construction so every
-  // batch formation does not take the global mutex just to re-read it.
+  // batch formation does not pin a snapshot just to re-read it.
   bool PurgeExpired() const { return purge_expired_; }
 
-  // State sync: publishes every snapshot, then lets the policy react —
-  // exactly PipelineRuntime::SyncTick under one lock acquisition.
+  // State sync: publishes every module state, lets the policy react, then
+  // swaps in the next snapshot — one control-lock acquisition per period.
   void Sync(std::vector<ModuleState> states, SimTime now);
 
+  // True when broker decisions run on the lock-free snapshot path.
+  bool LockFree() const { return !force_locked_ && has_view_; }
+  // Snapshot epochs are monotone: 1 at construction, +1 per Sync.
+  std::uint64_t SnapshotEpoch() const { return snapshot_.Epoch(); }
+
  private:
-  mutable std::mutex mu_;
+  struct alignas(64) AdmissionShard {
+    std::mutex mu;
+    Rng rng{1};
+  };
+
+  // Builds the snapshot for the current board/policy state. Caller holds
+  // mu_ (or is the constructor).
+  std::unique_ptr<const ControlSnapshot> BuildSnapshot();
+  AdmissionShard& ShardFor(const Request& request) {
+    return *shards_[static_cast<std::size_t>(request.id) % shards_.size()];
+  }
+
+  mutable std::mutex mu_;  // LockRank::kControl.
   DropPolicy* policy_;
   StateBoard* board_;
-  bool purge_expired_;
+  bool purge_expired_ = false;
+  bool force_locked_ = false;
+  bool has_view_ = false;  // Written once in the constructor, then const.
+  std::vector<std::unique_ptr<AdmissionShard>> shards_;
+  SnapshotCell<ControlSnapshot> snapshot_;
 };
 
 }  // namespace pard

@@ -1,10 +1,11 @@
 #include "serve/serve_module.h"
 
-#include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/lock_order.h"
 #include "serve/serve_runtime.h"
 
 namespace pard {
@@ -18,15 +19,20 @@ ServeModule::ServeModule(ServeRuntime* runtime, BackendFleet* fleet, const Modul
       profile_(profile),
       batch_size_(batch_size),
       initial_workers_(workers),
-      options_(options),
-      jitter_rng_(Rng(options.seed).Fork("serve-jitter:" + std::to_string(spec.id))),
-      queue_delay_window_(options.stats_window),
-      stage_latency_window_(options.stats_window),
-      wait_reservoir_(static_cast<std::size_t>(options.reservoir_capacity)),
-      rate_monitor_(options.stats_window) {
+      options_(options) {
   PARD_CHECK(batch_size_ >= 1);
   PARD_CHECK(initial_workers_ >= 1);
   PARD_CHECK(fleet_ != nullptr);
+  // One shard per initial worker (capped): enough to spread contention while
+  // keeping the steal scan and the per-shard monitor slices cheap to merge.
+  const int num_shards = std::min(std::max(initial_workers_, 1), 8);
+  const std::size_t reservoir_per_shard = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.reservoir_capacity) /
+             static_cast<std::size_t>(num_shards));
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<QueueShard>(options.stats_window, reservoir_per_shard));
+  }
 }
 
 void ServeModule::SpawnWorker(bool warm, SimTime now) {
@@ -34,10 +40,19 @@ void ServeModule::SpawnWorker(bool warm, SimTime now) {
   if (warm) {
     fleet_->SetState(spec_.id, slot.worker_id, BackendState::kActive, now);
   }
+  const int index = spawned_++;
+  const int home = index % static_cast<int>(shards_.size());
+  // Worker-private jitter stream: forked per slot so batch jitter needs no
+  // shared RNG (and no lock) on the execution path.
+  Rng jitter = Rng(options_.seed)
+                   .Fork("serve-jitter:" + std::to_string(spec_.id) + ":" +
+                         std::to_string(index));
   ServeWorker* worker = nullptr;
   {
+    LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
-    roster_.push_back(std::make_unique<ServeWorker>(slot, /*cold=*/!warm));
+    roster_.push_back(
+        std::make_unique<ServeWorker>(slot, /*cold=*/!warm, home, jitter));
     worker = roster_.back().get();
   }
   workers_.Spawn([this, worker] { WorkerLoop(worker); });
@@ -62,6 +77,7 @@ int ServeModule::AddWorkers(int count, SimTime now) {
 int ServeModule::FailWorkers(int count, SimTime now) {
   int killed = 0;
   {
+    LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
     // Oldest active workers first, mirroring ModuleRuntime::FailWorkers.
     for (auto& entry : roster_) {
@@ -98,6 +114,7 @@ int ServeModule::SetTargetUnits(double target_units, SimTime now, int max_new_th
   if (added == 0 && provisioned > target_units) {
     bool any = false;
     {
+      LockOrderGuard order(LockRank::kModule);
       std::lock_guard<std::mutex> lock(mu_);
       for (auto it = roster_.rbegin(); it != roster_.rend(); ++it) {
         ServeWorker& w = **it;
@@ -126,22 +143,37 @@ int ServeModule::SetTargetUnits(double target_units, SimTime now, int max_new_th
 }
 
 void ServeModule::NoteOffered(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  rate_monitor_.Bump(now);
+  QueueShard& shard =
+      *shards_[offered_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
+  LockOrderGuard order(LockRank::kQueueShard);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.rate_monitor.Bump(shard.Monotonic(now));
 }
 
 void ServeModule::Receive(RequestPtr req) {
   const SimTime now = runtime_->clock().Now();
+  QueueShard& shard =
+      *shards_[push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockOrderGuard order(LockRank::kQueueShard);
+    std::lock_guard<std::mutex> lock(shard.mu);
     req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
-    queue_.Push(std::move(req));
+    shard.queue.Push(std::move(req));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: a worker that observed queued_ == 0 is either
+    // before its wait (will re-check the predicate) or inside it (this
+    // lock/unlock orders our increment before the notify it will receive).
+    LockOrderGuard order(LockRank::kModule);
+    std::lock_guard<std::mutex> lock(mu_);
   }
   work_ready_.notify_one();
 }
 
 void ServeModule::RequestStop() {
   {
+    LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
@@ -150,10 +182,17 @@ void ServeModule::RequestStop() {
 
 void ServeModule::Abort() {
   {
+    LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    while (!queue_.Empty()) {
-      queue_.Pop(PopSide::kOldest);  // Discard; leftovers are swept kLate.
+  }
+  for (auto& shard_ptr : shards_) {
+    QueueShard& shard = *shard_ptr;
+    LockOrderGuard order(LockRank::kQueueShard);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (!shard.queue.Empty()) {
+      shard.queue.Pop(PopSide::kOldest);  // Discard; leftovers are swept kLate.
+      queued_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   work_ready_.notify_all();
@@ -161,29 +200,32 @@ void ServeModule::Abort() {
 
 void ServeModule::Join() { workers_.Join(); }
 
-std::vector<RequestPtr> ServeModule::FormBatchLocked(SimTime now) {
-  std::vector<RequestPtr> batch;
+void ServeModule::FormBatchFromShard(QueueShard& shard, SimTime now, Duration d_k,
+                                     std::vector<RequestPtr>* batch) {
   ControlPlane& control = runtime_->control();
+  LockOrderGuard order(LockRank::kQueueShard);
+  std::lock_guard<std::mutex> lock(shard.mu);
   if (control.PurgeExpired()) {
     // Deadline already passed while queued: unservable under any policy.
-    while (queue_.MinDeadline() < now) {
-      RequestPtr expired = queue_.Pop(PopSide::kMinBudget);
+    while (shard.queue.MinDeadline() < now) {
+      RequestPtr expired = shard.queue.Pop(PopSide::kMinBudget);
       if (expired == nullptr) {
         break;
       }
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       if (!runtime_->IsTerminal(*expired)) {
         expired->hops[static_cast<std::size_t>(spec_.id)].batch_entry = now;
         runtime_->Drop(expired, spec_.id, now);
       }
     }
   }
-  const Duration d_k = profile_.BatchDuration(batch_size_);
-  while (static_cast<int>(batch.size()) < batch_size_ && !queue_.Empty()) {
+  while (static_cast<int>(batch->size()) < batch_size_ && !shard.queue.Empty()) {
     const PopSide side = control.ChoosePopSide(spec_.id, now);
-    RequestPtr req = queue_.Pop(side);
+    RequestPtr req = shard.queue.Pop(side);
     if (req == nullptr) {
       break;
     }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     if (runtime_->IsTerminal(*req)) {
       continue;  // Dropped on another DAG branch while queued here.
     }
@@ -201,8 +243,21 @@ std::vector<RequestPtr> ServeModule::FormBatchLocked(SimTime now) {
       runtime_->Drop(req, spec_.id, now);
       continue;
     }
-    queue_delay_window_.Add(MonotonicLocked(now), static_cast<double>(hop.QueueDelay()));
-    batch.push_back(std::move(req));
+    shard.queue_delay_window.Add(shard.Monotonic(now),
+                                 static_cast<double>(hop.QueueDelay()));
+    batch->push_back(std::move(req));
+  }
+}
+
+std::vector<RequestPtr> ServeModule::FormBatch(int home_shard, SimTime now) {
+  std::vector<RequestPtr> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size_));
+  const Duration d_k = profile_.BatchDuration(batch_size_);
+  const int n = static_cast<int>(shards_.size());
+  // Home shard first, then steal from siblings round-robin until the batch
+  // fills. One shard lock at a time, never two.
+  for (int i = 0; i < n && static_cast<int>(batch.size()) < batch_size_; ++i) {
+    FormBatchFromShard(*shards_[(home_shard + i) % n], now, d_k, &batch);
   }
   return batch;
 }
@@ -222,16 +277,16 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
     fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kActive, clock.Now());
   }
   for (;;) {
-    std::vector<RequestPtr> batch;
-    Duration planned = 0;
     {
+      LockOrderGuard order(LockRank::kModule);
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this, w] {
         return stop_ || w->kill.load(std::memory_order_relaxed) ||
-               w->drain.load(std::memory_order_relaxed) || !queue_.Empty();
+               w->drain.load(std::memory_order_relaxed) ||
+               queued_.load(std::memory_order_acquire) > 0;
       });
       if (w->kill.load(std::memory_order_relaxed)) {
-        // Failed while idle: nothing in flight; the shared queue survives
+        // Failed while idle: nothing in flight; the shared shards survive
         // for the remaining workers (unlike the simulator's private queues).
         return;
       }
@@ -239,25 +294,27 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
         fleet_->SetState(spec_.id, w->slot.worker_id, BackendState::kRetired, clock.Now());
         return;
       }
-      if (queue_.Empty()) {
+      if (queued_.load(std::memory_order_acquire) <= 0) {
         if (stop_) {
           return;
         }
         continue;  // Spurious wake or a sibling consumed the work.
       }
-      batch = FormBatchLocked(clock.Now());
-      if (batch.empty()) {
-        continue;  // Everything expired or was dropped proactively.
-      }
-      // Profiled duration on THIS slot's backend (exec_scale), with the
-      // configured jitter (jitter_rng_ under mu_).
-      planned = ScaleBatchDuration(profile_.BatchDuration(static_cast<int>(batch.size())),
-                                   w->slot.exec_scale);
-      if (options_.exec_jitter > 0.0) {
-        const double factor =
-            std::max(0.5, jitter_rng_.Normal(1.0, options_.exec_jitter));
-        planned = static_cast<Duration>(static_cast<double>(planned) * factor);
-      }
+    }
+
+    // Batch formation runs OUTSIDE mu_: it takes shard locks (and through
+    // the broker's decisions, control-plane and fate locks) one at a time.
+    std::vector<RequestPtr> batch = FormBatch(w->home, clock.Now());
+    if (batch.empty()) {
+      continue;  // Everything expired, was dropped, or a sibling stole it.
+    }
+    // Profiled duration on THIS slot's backend (exec_scale), with the
+    // configured jitter from the worker-private stream — no lock needed.
+    Duration planned = ScaleBatchDuration(
+        profile_.BatchDuration(static_cast<int>(batch.size())), w->slot.exec_scale);
+    if (options_.exec_jitter > 0.0) {
+      const double factor = std::max(0.5, w->jitter.Normal(1.0, options_.exec_jitter));
+      planned = static_cast<Duration>(static_cast<double>(planned) * factor);
     }
 
     // "Execute" on the GPU: occupy this worker for the profiled duration in
@@ -278,16 +335,19 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
 
     const Duration gpu_share = (exec_end - exec_start) / static_cast<Duration>(batch.size());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      // Post-execution monitoring lands on the worker's home shard.
+      QueueShard& shard = *shards_[static_cast<std::size_t>(w->home)];
+      LockOrderGuard order(LockRank::kQueueShard);
+      std::lock_guard<std::mutex> lock(shard.mu);
       for (const RequestPtr& req : batch) {
         HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
         hop.exec_start = exec_start;
         hop.exec_end = exec_end;
         hop.gpu_time = gpu_share;
         hop.executed = true;
-        wait_reservoir_.Add(static_cast<double>(hop.BatchWait()));
-        stage_latency_window_.Add(MonotonicLocked(exec_end),
-                                  static_cast<double>(exec_end - hop.arrive));
+        shard.wait_reservoir.Add(static_cast<double>(hop.BatchWait()));
+        shard.stage_latency_window.Add(shard.Monotonic(exec_end),
+                                       static_cast<double>(exec_end - hop.arrive));
       }
     }
     for (RequestPtr& req : batch) {
@@ -301,26 +361,55 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
 }
 
 double ServeModule::SmoothedInputRate(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rate_monitor_.Smoothed(now);
+  RateMonitor merged(options_.stats_window);
+  for (auto& shard_ptr : shards_) {
+    QueueShard& shard = *shard_ptr;
+    LockOrderGuard order(LockRank::kQueueShard);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.rate_monitor);
+  }
+  return merged.Smoothed(now);
 }
 
 ModuleState ServeModule::Snapshot(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Merge the per-shard monitor slices, one shard lock at a time. The merges
+  // are exact (see the class comment), so the published ModuleState matches
+  // what the unsharded module would have computed over the same samples.
+  double delay_weighted = 0.0;
+  double delay_weight = 0.0;
+  double worst_latency = 0.0;
+  bool any_latency = false;
+  RateMonitor merged_rate(options_.stats_window);
+  std::vector<double> wait_samples;
+  for (auto& shard_ptr : shards_) {
+    QueueShard& shard = *shard_ptr;
+    LockOrderGuard order(LockRank::kQueueShard);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.queue_delay_window.AccumulateLinearWeighted(now, &delay_weighted, &delay_weight);
+    shard.stage_latency_window.Evict(now);
+    if (shard.stage_latency_window.Size() > 0) {
+      worst_latency = std::max(worst_latency, shard.stage_latency_window.Max(now));
+      any_latency = true;
+    }
+    merged_rate.Merge(shard.rate_monitor);
+    const std::vector<double>& samples = shard.wait_reservoir.values();
+    wait_samples.insert(wait_samples.end(), samples.begin(), samples.end());
+  }
+
   ModuleState state;
   state.module_id = spec_.id;
   state.updated_at = now;
-  state.avg_queue_delay = queue_delay_window_.LinearWeightedMean(now, 0.0);
-  state.worst_stage_latency = stage_latency_window_.Max(
-      now, static_cast<double>(profile_.BatchDuration(batch_size_)));
+  state.avg_queue_delay = delay_weight > 0.0 ? delay_weighted / delay_weight : 0.0;
+  state.worst_stage_latency =
+      any_latency ? worst_latency : static_cast<double>(profile_.BatchDuration(batch_size_));
   state.batch_size = batch_size_;
   state.batch_duration = profile_.BatchDuration(batch_size_);
   const double capacity = fleet_->PublishCapacity(spec_.id, PerWorkerThroughput(), state);
-  state.input_rate = rate_monitor_.Raw(now);
-  state.smoothed_rate = rate_monitor_.Smoothed(now);
+  state.input_rate = merged_rate.Raw(now);
+  state.smoothed_rate = merged_rate.Smoothed(now);
   state.load_factor = capacity > 0.0 ? state.smoothed_rate / capacity : 0.0;
-  state.burstiness = rate_monitor_.Burstiness(now);
-  state.wait_samples = wait_reservoir_.values();
+  state.burstiness = merged_rate.Burstiness(now);
+  state.wait_samples = std::move(wait_samples);
   std::sort(state.wait_samples.begin(), state.wait_samples.end());
   return state;
 }

@@ -1,11 +1,26 @@
-// One pipeline module served by real threads.
+// One pipeline module served by real threads, over sharded work queues.
 //
 // The simulated ModuleRuntime dispatches to per-worker queues inside one
-// event loop; here a module is a single shared DEPQ drained by N OS threads,
-// each playing one GPU worker. A worker pulls a batch (applying the Request
-// Broker's drop decision per candidate under the control-plane facade),
-// "executes" it by sleeping the profiled duration in scaled wall time, then
-// hands the batch back to the runtime for forwarding.
+// event loop; here a module is N queue shards drained by M OS threads, each
+// playing one GPU worker. A worker pulls a batch (applying the Request
+// Broker's drop decision per candidate against the control plane's lock-free
+// snapshot), "executes" it by sleeping the profiled duration in scaled wall
+// time, then hands the batch back to the runtime for forwarding.
+//
+// Queue sharding: the single shared DEPQ of PR 4 serialized every push, pop
+// and monitor update behind one module mutex. It is now split into
+// min(initial workers, 8) QueueShards, each a DEPQ plus that shard's slice
+// of the monitoring state (delay/latency windows, wait reservoir, rate
+// bins) behind its own mutex. Deliveries land round-robin; a worker drains
+// its home shard first and then WORK-STEALS from sibling shards until its
+// batch is full, holding at most one shard lock at a time. Deadline-order
+// semantics are preserved per shard (DEPQ pop sides, and the purge-expired
+// sweep runs against every shard a worker visits); across shards ordering
+// is approximate — the price of not serializing, bounded by round-robin
+// balance. Monitoring merges exactly: rate bins align on absolute second
+// boundaries (RateMonitor::Merge) and windows merge via their weighted sums
+// (SlidingWindow::AccumulateLinearWeighted), so Snapshot() publishes the
+// same arithmetic the unsharded module computed.
 //
 // Worker roster: every thread occupies one BackendFleet slot, so fleets can
 // be heterogeneous — a slot's backend profile scales its execution
@@ -14,8 +29,8 @@
 // start, DrainWorkers() retires the most recently added threads after their
 // current batch, and FailWorkers() kills threads so that their in-flight
 // batch is lost (mirroring the simulator's Worker::Fail; the *queued*
-// backlog survives here because the DEPQ is shared, where the simulator
-// loses the failed worker's private queue).
+// backlog survives here because shards are shared by all workers, where the
+// simulator loses the failed worker's private queue).
 //
 // Batching discipline vs the simulator: a pull-based worker launches as soon
 // as it is free, so the batch-entry and execution-start instants coincide
@@ -24,20 +39,30 @@
 // form-while-executing overlap (W ∈ [0, d]) is one reason serve and sim
 // numbers agree only within a tolerance band (see tests/serve_test.cc).
 //
-// Concurrency contract: `mu_` guards the queue, the roster vector and all
-// monitoring state (windows, reservoir, rate bins). Workers may take the
-// control-plane lock while holding `mu_` (module → control order);
-// Snapshot() takes only `mu_` so the control thread can snapshot first and
-// publish second without ever nesting control → module. Roster mutations
-// (AddWorkers/DrainWorkers/FailWorkers) must come from ONE control thread
-// and never race Start()/Join() — ServeRuntime's shutdown joins the control
-// thread before joining workers to pin this.
+// Concurrency contract (lock ranks per common/lock_order.h):
+//   - mu_ (kModule) guards the roster and the worker sleep/wake state only.
+//   - Each QueueShard::mu (kQueueShard) guards that shard's queue and
+//     monitoring slice. Workers may take a shard lock, then the control
+//     plane's locks (kQueueShard < kAdmissionShard < kControl) and the
+//     runtime's fate stripes (kFate) — never the reverse.
+//   - queued_ is the module-wide live-entry count; Receive() bumps it and
+//     performs an empty lock/unlock of mu_ before notifying so a worker
+//     between its predicate check and its wait cannot miss the wakeup.
+//   - Each worker owns a private jitter RNG (forked per slot), so batch
+//     jitter needs no lock at all.
+//   - Roster mutations (AddWorkers/DrainWorkers/FailWorkers) must come from
+//     ONE control thread and never race Start()/Join(); ServeRuntime's
+//     shutdown joins the control thread before joining workers to pin this.
+// Snapshot() takes shard locks one at a time and never nests them with mu_,
+// so the control thread can snapshot first and publish second without ever
+// nesting control → module.
 #ifndef PARD_SERVE_SERVE_MODULE_H_
 #define PARD_SERVE_SERVE_MODULE_H_
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -94,7 +119,7 @@ class ServeModule {
   // above target. Returns threads added.
   int SetTargetUnits(double target_units, SimTime now, int max_new_threads);
 
-  // Asks workers to exit once the queue is empty, then unblocks them.
+  // Asks workers to exit once the queues are empty, then unblocks them.
   void RequestStop();
   // Drain-timeout stop: discards the entire backlog (abandoned requests stay
   // non-terminal; the runtime's conservation sweep accounts them kLate) and
@@ -104,8 +129,8 @@ class ServeModule {
   // Joins worker threads; re-throws the first worker exception.
   void Join();
 
-  // Monitoring snapshot for the control thread. Takes only the module lock
-  // (see the lock-ordering note above).
+  // Monitoring snapshot for the control thread: merges the per-shard
+  // monitor slices (shard locks, one at a time — see the contract above).
   ModuleState Snapshot(SimTime now);
   // Window-smoothed offered rate, for the scaling engine.
   double SmoothedInputRate(SimTime now);
@@ -114,22 +139,56 @@ class ServeModule {
   int module_id() const { return spec_.id; }
   int batch_size() const { return batch_size_; }
   int initial_workers() const { return initial_workers_; }
+  int num_queue_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   // One worker thread's shared flags. The slot is immutable; kill/drain are
-  // written by the control thread and polled by the owning thread.
+  // written by the control thread and polled by the owning thread. The
+  // jitter RNG and home shard are worker-private.
   struct ServeWorker {
-    explicit ServeWorker(const BackendSlot& s, bool c) : slot(s), cold(c) {}
+    ServeWorker(const BackendSlot& s, bool c, int home_shard, Rng jitter_rng)
+        : slot(s), cold(c), home(home_shard), jitter(jitter_rng) {}
     const BackendSlot slot;
     const bool cold;  // Spawned mid-run: sleep slot.cold_start first.
+    const int home;   // Home queue shard; siblings are steal targets.
+    Rng jitter;       // Owning thread only.
     std::atomic<bool> kill{false};
     std::atomic<bool> drain{false};
   };
 
+  // One slice of the module's queue + monitoring state.
+  struct QueueShard {
+    QueueShard(Duration window, std::size_t reservoir_capacity)
+        : queue_delay_window(window),
+          stage_latency_window(window),
+          wait_reservoir(reservoir_capacity),
+          rate_monitor(window) {}
+
+    std::mutex mu;  // LockRank::kQueueShard.
+    RequestQueue queue;
+
+    // SlidingWindow requires non-decreasing timestamps but concurrent
+    // workers observe slightly out-of-order clock reads; Monotonic() clamps
+    // observation times to the shard's high-water mark. Caller holds mu.
+    SimTime obs_clock = 0;
+    SimTime Monotonic(SimTime t) {
+      obs_clock = std::max(obs_clock, t);
+      return obs_clock;
+    }
+    SlidingWindow queue_delay_window;
+    SlidingWindow stage_latency_window;
+    RecentReservoir wait_reservoir;
+    RateMonitor rate_monitor;
+  };
+
   void WorkerLoop(ServeWorker* w);
-  // Pops up to batch_size_ live requests, applying purge + broker decisions.
-  // Caller holds mu_.
-  std::vector<RequestPtr> FormBatchLocked(SimTime now);
+  // Pops up to batch_size_ live requests: purge + broker decisions against
+  // the home shard first, then steals from siblings. Takes shard locks one
+  // at a time; caller holds NO lock.
+  std::vector<RequestPtr> FormBatch(int home_shard, SimTime now);
+  // Scans one shard (caller holds no lock; locks shard.mu internally).
+  void FormBatchFromShard(QueueShard& shard, SimTime now, Duration d_k,
+                          std::vector<RequestPtr>* batch);
   // Spawns one roster entry (cold unless `warm`). Caller must be the
   // constructor/control thread.
   void SpawnWorker(bool warm, SimTime now);
@@ -142,26 +201,18 @@ class ServeModule {
   int initial_workers_;
   RuntimeOptions options_;
 
-  std::mutex mu_;
+  std::mutex mu_;  // LockRank::kModule — roster + sleep/wake only.
   std::condition_variable work_ready_;
   bool stop_ = false;
-  RequestQueue queue_;
-  Rng jitter_rng_;
   std::vector<std::unique_ptr<ServeWorker>> roster_;  // Guarded by mu_.
+  int spawned_ = 0;  // Control thread only; assigns home shards round-robin.
 
-  // State-planner monitoring, all guarded by mu_. SlidingWindow requires
-  // non-decreasing timestamps but concurrent workers observe slightly
-  // out-of-order clock reads; MonotonicLocked() clamps observation times to
-  // the module's high-water mark before they reach a window.
-  SimTime obs_clock_ = 0;
-  SimTime MonotonicLocked(SimTime t) {
-    obs_clock_ = std::max(obs_clock_, t);
-    return obs_clock_;
-  }
-  SlidingWindow queue_delay_window_;
-  SlidingWindow stage_latency_window_;
-  RecentReservoir wait_reservoir_;
-  RateMonitor rate_monitor_;
+  std::vector<std::unique_ptr<QueueShard>> shards_;  // Fixed after ctor.
+  // Live entries across all shards (includes already-terminal entries not
+  // yet popped, exactly like the old queue_.Empty() predicate).
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::uint64_t> push_cursor_{0};     // Round-robin Receive.
+  std::atomic<std::uint64_t> offered_cursor_{0};  // Round-robin NoteOffered.
 
   WorkerGroup workers_;
 };

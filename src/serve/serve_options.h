@@ -33,6 +33,14 @@ struct ServeOptions {
   // scales down proportionally when the plan exceeds it. Real threads are
   // not free the way simulated workers are.
   int max_total_threads = 64;
+
+  // Request-broker ingress threads. 1 (default) delivers each arrival
+  // inline on the load-generator thread — the PR 4/5 behavior. N > 1 fans
+  // source-module deliveries (merge check, admission front-end, enqueue)
+  // across N broker threads pulling from a shared backlog, exercising the
+  // control plane's lock-free snapshot path concurrently. Delivery order at
+  // the source module becomes approximate across brokers.
+  int broker_threads = 1;
 };
 
 }  // namespace pard

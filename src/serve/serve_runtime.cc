@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/lock_order.h"
 #include "models/registry.h"
 #include "runtime/batch_planner.h"
 
@@ -43,6 +44,12 @@ std::vector<int> CapTotalWorkers(std::vector<int> plan, int cap) {
   return plan;
 }
 
+ControlPlane::Options MakeControlOptions(const RuntimeOptions& options) {
+  ControlPlane::Options control;
+  control.seed = options.seed;
+  return control;
+}
+
 }  // namespace
 
 ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& options,
@@ -52,11 +59,12 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
       serve_(serve),
       clock_(serve.speedup),
       board_(spec.NumModules()),
-      control_(&spec_, policy, &board_),
+      control_(&spec_, policy, &board_, MakeControlOptions(options)),
       batch_sizes_(PlanBatchSizes(spec_)),
       fleet_(spec_, options.cold_start),
       rng_(options.seed) {
   PARD_CHECK(serve_.max_total_threads >= spec_.NumModules());
+  PARD_CHECK_MSG(serve_.broker_threads >= 1, "broker_threads must be >= 1");
   if (!options_.fixed_workers.empty()) {
     PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
                    "fixed_workers size must match module count");
@@ -93,11 +101,12 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
 }
 
 bool ServeRuntime::IsTerminal(const Request& req) const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  LockOrderGuard order(LockRank::kFate);
+  std::lock_guard<std::mutex> lock(FateMutex(req));
   return req.Terminal();
 }
 
-void ServeRuntime::AssignDynamicPathLocked(Request& req) {
+void ServeRuntime::AssignDynamicPath(Request& req) {
   const int n = spec_.NumModules();
   req.branch_choice.assign(static_cast<std::size_t>(n), -1);
   req.expected_arrivals.assign(static_cast<std::size_t>(n), 0);
@@ -128,28 +137,56 @@ void ServeRuntime::Inject(SimTime scheduled) {
   (void)scheduled;  // Open loop: the *actual* instant is the send time.
   const SimTime now = clock_.Now();
   RequestPtr req = std::make_shared<Request>();
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    req->id = next_request_id_++;
-    req->sent = now;
-    req->slo = spec_.slo();
-    req->deadline = req->sent + req->slo;
-    req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
-    req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
-    if (options_.dynamic_paths) {
-      AssignDynamicPathLocked(*req);
-    }
-    requests_.push_back(req);
-    in_flight_.fetch_add(1, std::memory_order_release);
+  // No lock: the id counter, RNG and request log belong to this (the load
+  // generator's) thread; identity fields are immutable once the request is
+  // visible to any other thread (runtime/request.h).
+  req->id = next_request_id_++;
+  req->sent = now;
+  req->slo = spec_.slo();
+  req->deadline = req->sent + req->slo;
+  req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
+  req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
+  if (options_.dynamic_paths) {
+    AssignDynamicPath(*req);
   }
-  Deliver(req, spec_.SourceModule(), now);
+  requests_.push_back(req);
+  in_flight_.fetch_add(1, std::memory_order_release);
+  if (serve_.broker_threads > 1) {
+    {
+      std::lock_guard<std::mutex> lock(broker_mu_);
+      broker_backlog_.push_back(std::move(req));
+    }
+    broker_ready_.notify_one();
+  } else {
+    Deliver(req, spec_.SourceModule(), now);
+  }
+}
+
+void ServeRuntime::BrokerLoop() {
+  for (;;) {
+    RequestPtr req;
+    {
+      std::unique_lock<std::mutex> lock(broker_mu_);
+      broker_ready_.wait(lock,
+                         [this] { return broker_stop_ || !broker_backlog_.empty(); });
+      if (broker_backlog_.empty()) {
+        return;  // Stop requested and the backlog is drained (or discarded).
+      }
+      req = std::move(broker_backlog_.front());
+      broker_backlog_.pop_front();
+    }
+    Deliver(req, spec_.SourceModule(), clock_.Now());
+  }
 }
 
 void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
   const ModuleSpec& m = spec_.Module(module_id);
   if (m.pres.size() > 1) {
-    // DAG merge: enqueue only once all expected branches delivered.
-    std::lock_guard<std::mutex> lock(state_mu_);
+    // DAG merge: enqueue only once all expected branches delivered. The
+    // merge counter shares the request's fate stripe, so a sibling branch's
+    // drop and this arrival serialize.
+    LockOrderGuard order(LockRank::kFate);
+    std::lock_guard<std::mutex> lock(FateMutex(*req));
     int& arrived = req->merge_arrivals[static_cast<std::size_t>(module_id)];
     ++arrived;
     if (req->Terminal()) {
@@ -169,7 +206,8 @@ void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
   // enters the module queue — enqueue-time admission plus the Request Broker
   // predicate with the delivery instant as the hypothetical batch start. A
   // request that cannot meet its SLO even if a worker picked it up right now
-  // never consumes queue space or a broker slot later.
+  // never consumes queue space or a broker slot later. Both predicates read
+  // the control plane's published snapshot — no control lock on this path.
   if (!control_.AdmitAtModule(*req, module_id, now)) {
     req->hops[static_cast<std::size_t>(module_id)].arrive = now;
     Drop(req, module_id, now);
@@ -192,11 +230,8 @@ void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
 }
 
 void ServeRuntime::OnModuleDone(const RequestPtr& req, int module_id, SimTime now) {
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    if (req->Terminal()) {
-      return;  // Dropped on a parallel branch while this one executed.
-    }
+  if (IsTerminal(*req)) {
+    return;  // Dropped on a parallel branch while this one executed.
   }
   const ModuleSpec& m = spec_.Module(module_id);
   if (m.subs.empty()) {
@@ -213,7 +248,8 @@ void ServeRuntime::OnModuleDone(const RequestPtr& req, int module_id, SimTime no
 }
 
 void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  LockOrderGuard order(LockRank::kFate);
+  std::lock_guard<std::mutex> lock(FateMutex(*req));
   if (req->Terminal()) {
     return;
   }
@@ -224,7 +260,8 @@ void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now) {
 }
 
 void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  LockOrderGuard order(LockRank::kFate);
+  std::lock_guard<std::mutex> lock(FateMutex(*req));
   if (req->Terminal()) {
     return;
   }
@@ -294,17 +331,31 @@ void ServeRuntime::ControlLoop() {
       std::vector<ModuleState> states;
       states.reserve(modules_.size());
       for (auto& module : modules_) {
-        states.push_back(module->Snapshot(now));  // Module locks, one at a time.
+        states.push_back(module->Snapshot(now));  // Shard locks, one at a time.
       }
-      control_.Sync(std::move(states), now);  // Control lock; never nested.
+      // Control lock; publishes a fresh immutable snapshot for the brokers.
+      control_.Sync(std::move(states), now);
       next_sync += options_.sync_period;
     }
   }
 }
 
 void ServeRuntime::Shutdown(bool abandon_backlog) {
-  // The control thread goes first: once it is joined, no scaling tick or
-  // fault event can spawn a worker thread while the module groups join.
+  // Brokers go first: on a drained run their backlog is empty (a backlogged
+  // request is non-terminal, so the drain loop would still be waiting); on
+  // the abandon path the backlog is discarded — the conservation sweep
+  // accounts those requests kLate.
+  {
+    std::lock_guard<std::mutex> lock(broker_mu_);
+    broker_stop_ = true;
+    if (abandon_backlog) {
+      broker_backlog_.clear();
+    }
+  }
+  broker_ready_.notify_all();
+  broker_pool_.Join();
+  // The control thread next: once it is joined, no scaling tick or fault
+  // event can spawn a worker thread while the module groups join.
   stop_control_.store(true, std::memory_order_relaxed);
   control_thread_.Join();
   // Topo order: once module k's workers have joined, nothing can deliver to
@@ -337,6 +388,11 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
   for (auto& module : modules_) {
     module->Start();
   }
+  if (serve_.broker_threads > 1) {
+    for (int i = 0; i < serve_.broker_threads; ++i) {
+      broker_pool_.Spawn([this] { BrokerLoop(); });
+    }
+  }
   control_thread_.Spawn([this] { ControlLoop(); });
 
   try {
@@ -368,10 +424,10 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
     throw;
   }
 
-  // Conservation: anything still in flight (wedged queue, drain timeout) is
-  // accounted as late rather than silently vanishing.
+  // Conservation: anything still in flight (wedged queue, drain timeout,
+  // discarded broker backlog) is accounted as late rather than silently
+  // vanishing. Every thread has joined; no lock needed.
   const SimTime now = clock_.Now();
-  std::lock_guard<std::mutex> lock(state_mu_);
   for (const RequestPtr& req : requests_) {
     if (!req->Terminal()) {
       req->fate = RequestFate::kLate;

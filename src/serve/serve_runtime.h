@@ -4,17 +4,20 @@
 // Where PipelineRuntime multiplexes every module, worker and control tick
 // through one discrete-event loop, ServeRuntime is a live prototype of the
 // paper's system: an open-loop load generator injects requests in (scaled)
-// real time, each module's GPU workers are OS threads draining a shared
-// DEPQ, the PARD broker / estimator / baselines make their decisions against
-// wall-clock deadlines behind the ControlPlane facade, and a control thread
-// publishes ModuleState snapshots once per virtual second exactly like the
-// paper's gRPC state exchange.
+// real time, each module's GPU workers are OS threads draining sharded
+// DEPQs with work stealing, the PARD broker / estimator / baselines make
+// their decisions against wall-clock deadlines behind the ControlPlane
+// facade, and a control thread publishes ModuleState snapshots once per
+// virtual second exactly like the paper's gRPC state exchange.
 //
 // An admission front-end performs the proactive drops before a request
 // enters any module queue: at every delivery the policy's enqueue-time
 // admission AND the Request Broker predicate (with the delivery instant as
 // the hypothetical batch start) run first, so requests that cannot meet
-// their SLO never consume queue space or GPU time.
+// their SLO never consume queue space or GPU time. With
+// serve.broker_threads > 1 this front-end runs on a pool of broker threads
+// fed from a shared ingress backlog, so admission decisions — reads of the
+// control plane's published snapshot — execute genuinely concurrently.
 //
 // Fleet dynamics: worker rosters live in a BackendFleet shared with the
 // simulator's abstraction — slots draw (possibly heterogeneous) backend
@@ -26,7 +29,21 @@
 // per-epoch worker history. options.failures / options.fleet_events apply a
 // deterministic kill/recover schedule mid-run, mirroring the simulator's
 // Worker::Fail semantics (a killed worker's in-flight batch is lost; the
-// shared queue survives for the remaining workers).
+// shared queue shards survive for the remaining workers).
+//
+// Concurrency contract (ranks per common/lock_order.h). There is no global
+// runtime mutex. Mutable state is partitioned by owner:
+//   - Request fate/finish transitions, DAG merge counters: 16 fate stripes
+//     (kFate, keyed by request id) — the highest rank, so any thread may
+//     resolve a fate while holding module/queue/control locks, never the
+//     reverse.
+//   - The request log, id counter and dynamic-path RNG belong to the load
+//     generator thread alone; the final conservation sweep reads them only
+//     after every thread has joined.
+//   - The ingress backlog (broker pool) has its own leaf mutex, never held
+//     across a delivery.
+//   - Module queues/monitors and the control plane's snapshot publication
+//     synchronize themselves (serve_module.h, control_plane.h).
 //
 // Scope vs the simulator: inter-module network delay is folded into real
 // forwarding cost, and runs are NOT bit-deterministic — thread scheduling
@@ -36,7 +53,10 @@
 #ifndef PARD_SERVE_SERVE_RUNTIME_H_
 #define PARD_SERVE_SERVE_RUNTIME_H_
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -92,27 +112,38 @@ class ServeRuntime {
   bool IsTerminal(const Request& req) const;
 
  private:
+  static constexpr std::size_t kFateStripes = 16;
+
   void Inject(SimTime scheduled);
-  // Stops the control thread first (so no scale-up can spawn a thread while
-  // modules join), then module workers in topo order, so downstream drains
-  // what upstream already forwarded. With `abandon_backlog` (drain timeout,
-  // mid-run exception) queued requests are discarded instead of served,
-  // bounding shutdown to ~one in-flight batch per worker even under a
-  // drop-free policy. Idempotent; runs on the normal exit path AND before
-  // rethrowing a mid-run exception, so worker threads are never left parked
-  // on a condition variable a destructor would then join forever.
+  // Broker pool thread: pops ingress backlog entries and runs the delivery
+  // front-end for the source module. Only active with broker_threads > 1.
+  void BrokerLoop();
+  // Stops the broker pool first (its backlog is provably empty on a drained
+  // run, discarded otherwise), then the control thread (so no scale-up can
+  // spawn a thread while modules join), then module workers in topo order,
+  // so downstream drains what upstream already forwarded. With
+  // `abandon_backlog` (drain timeout, mid-run exception) queued requests are
+  // discarded instead of served, bounding shutdown to ~one in-flight batch
+  // per worker even under a drop-free policy. Idempotent; runs on the normal
+  // exit path AND before rethrowing a mid-run exception, so worker threads
+  // are never left parked on a condition variable a destructor would then
+  // join forever.
   void Shutdown(bool abandon_backlog);
   // Admission front-end + merge bookkeeping + enqueue.
   void Deliver(const RequestPtr& req, int module_id, SimTime now);
   void Complete(const RequestPtr& req, SimTime now);
-  void AssignDynamicPathLocked(Request& req);
+  // Load-generator thread only (owns rng_).
+  void AssignDynamicPath(Request& req);
   // Control thread: state sync every sync_period, the scaling engine every
   // scaling_epoch (when enabled), and the deterministic fault schedule.
   void ControlLoop();
   void ScalingTick(SimTime now);
   // O(1): reads the in-flight counter, so the 2 ms drain poll never scans
-  // the request log under state_mu_ while workers race the deadline.
+  // the request log while workers race the deadline.
   bool AllTerminal() const { return in_flight_.load(std::memory_order_acquire) == 0; }
+  std::mutex& FateMutex(const Request& req) const {
+    return fate_mu_[static_cast<std::size_t>(req.id) % kFateStripes];
+  }
 
   PipelineSpec spec_;
   RuntimeOptions options_;
@@ -133,17 +164,26 @@ class ServeRuntime {
   // Written by the control thread only; read after RunTrace joins it.
   std::vector<FleetSample> worker_history_;
 
-  // Guards request fate/finish transitions, DAG merge counters, the request
-  // log and the dynamic-path RNG. Never held while taking a module or
-  // control-plane lock.
-  mutable std::mutex state_mu_;
+  // Striped fate locks (LockRank::kFate): request fate/finish transitions
+  // and DAG merge counters for request r serialize on stripe r.id % 16.
+  // Nothing else is ever acquired under a fate stripe.
+  mutable std::array<std::mutex, kFateStripes> fate_mu_;
+  // Load-generator thread only; read post-join by the conservation sweep.
   Rng rng_;
   std::vector<RequestPtr> requests_;
   std::uint64_t next_request_id_ = 1;
-  // Injected-but-not-terminal count; bumped in Inject, dropped on the
-  // fate transition in Drop/Complete (both under state_mu_, but atomic so
-  // the drain loop can read without the lock).
+  // Injected-but-not-terminal count; bumped in Inject, dropped on the fate
+  // transition in Drop/Complete (under the request's fate stripe, but atomic
+  // so the drain loop can read without any lock).
   std::atomic<std::size_t> in_flight_{0};
+
+  // Ingress backlog for the broker pool (broker_threads > 1). Leaf mutex:
+  // held only around deque operations, never across a delivery.
+  std::mutex broker_mu_;
+  std::condition_variable broker_ready_;
+  std::deque<RequestPtr> broker_backlog_;
+  bool broker_stop_ = false;
+  WorkerGroup broker_pool_;
 
   std::atomic<bool> stop_control_{false};
   WorkerGroup control_thread_;

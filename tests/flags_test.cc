@@ -114,6 +114,35 @@ TEST(Flags, HelpRequested) {
   EXPECT_NE(usage.find("application"), std::string::npos);
 }
 
+TEST(Flags, BrokerThreadsRoundTrips) {
+  // The pardsim serve-mode knob: defaults to 1, round-trips through both
+  // spellings, and malformed values fail at parse time, not deep in serving.
+  {
+    FlagSet flags;
+    flags.AddInt("broker-threads", 1, "serving broker threads");
+    Parse(flags, {});
+    EXPECT_EQ(flags.GetInt("broker-threads"), 1);
+  }
+  {
+    FlagSet flags;
+    flags.AddInt("broker-threads", 1, "serving broker threads");
+    Parse(flags, {"--broker-threads=8"});
+    EXPECT_EQ(flags.GetInt("broker-threads"), 8);
+  }
+  {
+    FlagSet flags;
+    flags.AddInt("broker-threads", 1, "serving broker threads");
+    Parse(flags, {"--broker-threads", "4"});
+    EXPECT_EQ(flags.GetInt("broker-threads"), 4);
+  }
+  {
+    FlagSet flags;
+    flags.AddInt("broker-threads", 1, "serving broker threads");
+    std::vector<const char*> args = {"--broker-threads=many"};
+    EXPECT_THROW(flags.Parse(1, args.data()), CheckError);
+  }
+}
+
 TEST(Flags, TypeMismatchThrows) {
   FlagSet flags = Standard();
   Parse(flags, {});

@@ -416,6 +416,44 @@ TEST(ServeRuntime, PardGoodputAtLeastDropFreeBaselineOnHeterogeneousScenario) {
   EXPECT_GE(pard.analysis->NormalizedGoodput(), naive.analysis->NormalizedGoodput());
 }
 
+TEST(ServeRuntime, ShardedBrokersWithScalingAndFaultsConserve) {
+  // ISSUE 6 contention stress, sized for the tsan preset: 4 broker threads
+  // hammer the control plane's snapshot-read admission path concurrently, a
+  // DAG pipeline's workers steal across queue shards under MMPP bursts, the
+  // scaling engine adds cold-starting threads, and a fault schedule kills
+  // and recovers a worker mid-run. Every request must still resolve exactly
+  // once — and a TSan-clean pass pins the sharded-path contracts
+  // (SnapshotCell reads, striped fate locks, per-shard queue mutexes).
+  ExperimentConfig config = Fig08SmokeConfig("da", "pard");
+  config.duration_s = 2.5;
+  config.runtime.fixed_workers = std::vector<int>(5, 2);  // 2 shards/module.
+  config.runtime.enable_scaling = true;
+  config.runtime.scaling_epoch = 1 * kUsPerSec;
+  config.runtime.cold_start = 100 * kUsPerMs;
+  config.runtime.fleet_events = ParseFaultSchedule("0.8:1:kill:1,1.2:1:add:1");
+  ServeOptions serve;
+  serve.speedup = 25.0;
+  serve.broker_threads = 4;
+  serve.arrivals = ServeOptions::Arrivals::kMmpp;
+  serve.mmpp.base_rate = 80.0;
+  serve.mmpp.burst_rate = 600.0;
+  serve.mmpp.mean_base_s = 0.5;
+  serve.mmpp.mean_burst_s = 0.5;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_GT(result.analysis->Total(), 0u);
+  std::size_t good = 0;
+  std::size_t dropped = 0;
+  for (const RequestPtr& req : result.analysis->requests()) {
+    ASSERT_TRUE(req->Terminal());
+    EXPECT_GE(req->finish, req->sent);
+    good += req->Good() ? 1 : 0;
+    dropped += req->CountsDropped() ? 1 : 0;
+  }
+  EXPECT_EQ(good + dropped, result.analysis->Total());
+  // Structural overload (600 req/s bursts into this fleet): load was shed.
+  EXPECT_GT(result.analysis->DropRate(), 0.0);
+}
+
 TEST(ServeRuntime, DynamicPathsServeTerminalUnderBursts) {
   ExperimentConfig config = Fig08SmokeConfig("da", "pard");
   config.runtime.dynamic_paths = true;

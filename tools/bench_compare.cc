@@ -110,7 +110,17 @@ std::string FileLabel(const std::string& path) {
 // newest/oldest ratio (blank when either end is missing). Exit 0 on
 // success, 2 on IO/parse problems — there is no pass/fail judgement here,
 // the gate mode owns that.
-int RenderHistory(const std::vector<std::string>& paths, const std::string& report_path) {
+//
+// Drift detection: the per-PR gate only sees one step, so a counter can
+// creep +20% every PR forever without tripping a +30% threshold. The
+// history view flags exactly that shape — a run of 3+ consecutive reports
+// where every step slows down but stays under the per-step gate
+// (step_threshold), and the cumulative slowdown exceeds drift_threshold —
+// with a "DRIFT:" line after the table. Informational only (exit stays 0):
+// a human decides whether the trend is intentional, but CI logs make it
+// impossible to miss.
+int RenderHistory(const std::vector<std::string>& paths, const std::string& report_path,
+                  double step_threshold, double drift_threshold) {
   std::vector<std::map<std::string, BenchRow>> reports;
   std::vector<std::string> labels;
   try {
@@ -164,6 +174,51 @@ int RenderHistory(const std::vector<std::string>& paths, const std::string& repo
       table += " - |\n";
     }
   }
+  // Monotone sub-gate creep across the series.
+  std::string drift;
+  for (const auto& [name, present] : names) {
+    (void)present;
+    // Longest run of consecutive reports containing this benchmark; a gap
+    // (renamed/added counter) resets the run rather than comparing across it.
+    std::vector<double> run;
+    std::size_t run_start = 0;
+    const auto flag_run = [&](const std::vector<double>& series, std::size_t start) {
+      if (series.size() < 3 || series.front() <= 0.0) {
+        return;
+      }
+      for (std::size_t i = 1; i < series.size(); ++i) {
+        const double step = series[i] / series[i - 1];
+        if (step < 1.0 || step > 1.0 + step_threshold) {
+          return;  // Not a monotone creep, or a step the gate would catch.
+        }
+      }
+      const double total = series.back() / series.front();
+      if (total > 1.0 + drift_threshold) {
+        drift += pard::StrFormat("DRIFT: %s +%.0f%% over %zu reports (%s..%s, each step under "
+                                 "+%.0f%%)\n",
+                                 name.c_str(), 100.0 * (total - 1.0), series.size(),
+                                 labels[start].c_str(),
+                                 labels[start + series.size() - 1].c_str(),
+                                 100.0 * step_threshold);
+      }
+    };
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto it = reports[i].find(name);
+      if (it == reports[i].end()) {
+        flag_run(run, run_start);
+        run.clear();
+        continue;
+      }
+      if (run.empty()) {
+        run_start = i;
+      }
+      run.push_back(it->second.cpu_time_ns);
+    }
+    flag_run(run, run_start);
+  }
+  if (!drift.empty()) {
+    table += "\n" + drift;
+  }
   std::printf("%s", table.c_str());
   if (!report_path.empty()) {
     FILE* out = std::fopen(report_path.c_str(), "wb");
@@ -186,6 +241,10 @@ int main(int argc, char** argv) {
   flags.AddString("gates", "BM_EventScheduleFire,BM_EventScheduleCancel,BM_BrokerDecisionWarmEpoch",
                   "comma-separated name substrings whose slowdown fails the gate");
   flags.AddString("report", "", "also write the comparison table to this file");
+  flags.AddDouble("drift-threshold", 0.25,
+                  "--history: flag a benchmark whose cpu time creeps up monotonically "
+                  "across 3+ reports, each step within --threshold, by more than this "
+                  "in total (0.25 = +25%)");
   flags.AddBool("history", false,
                 "render the given reports (oldest first, e.g. the bench/BENCH_PR*.json "
                 "series) as a markdown trajectory table instead of gating");
@@ -202,7 +261,13 @@ int main(int argc, char** argv) {
                             .c_str());
       return flags.HelpRequested() ? 0 : 2;
     }
-    return RenderHistory(flags.positional(), flags.GetString("report"));
+    const double drift = flags.GetDouble("drift-threshold");
+    if (!(drift > 0.0) || !std::isfinite(drift)) {
+      std::fprintf(stderr, "--drift-threshold must be a positive number (got %g)\n", drift);
+      return 2;
+    }
+    return RenderHistory(flags.positional(), flags.GetString("report"),
+                         flags.GetDouble("threshold"), drift);
   }
   if (flags.HelpRequested() || flags.positional().size() != 2) {
     std::printf("%s", flags.Usage("bench_compare <baseline.json> <current.json>").c_str());

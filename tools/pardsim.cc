@@ -82,6 +82,10 @@ pard::FlagSet BuildFlags() {
                   "(constant --base-rate), mmpp (bursty, --base-rate/--burst-rate)");
   flags.AddDouble("burst-rate", 0.0,
                   "serving mode mmpp burst-state rate, req/s (0 = 4x --base-rate)");
+  flags.AddInt("broker-threads", 1,
+               "serving mode: broker threads fanning injected requests into the "
+               "pipeline (N > 1 admits concurrently through the lock-free control "
+               "plane; delivery order across brokers is approximate)");
   return flags;
 }
 
@@ -208,6 +212,13 @@ int main(int argc, char** argv) {
                    arrivals.c_str());
       return 2;
     }
+    const std::int64_t broker_threads = flags.GetInt("broker-threads");
+    if (broker_threads < 1 || broker_threads > 64) {
+      std::fprintf(stderr, "--broker-threads must be in [1, 64] (got %lld)\n",
+                   static_cast<long long>(broker_threads));
+      return 2;
+    }
+    serve.broker_threads = static_cast<int>(broker_threads);
     if (shards > 1) {
       std::fprintf(stderr, "--serve and --shards are mutually exclusive\n");
       return 2;
