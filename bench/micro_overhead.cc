@@ -34,6 +34,8 @@
 #include "core/pard_policy.h"
 #include "harness/experiment.h"
 #include "jsonio/json.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "pipeline/apps.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
@@ -365,6 +367,79 @@ void BM_AdmissionDecisionLocked(benchmark::State& state) {
 }
 BENCHMARK(BM_AdmissionDecisionLocked)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
 
+// --- Observability overhead ------------------------------------------------
+
+// The instrumentation tax on the admission hot path: one broker decision
+// (AdmitAtModule + ShouldDrop against a warm snapshot) per iteration, plus
+// exactly the extra work ServeRuntime::Deliver does when obs is wired — a
+// striped-counter bump and a sampled trace emit — versus the null-pointer
+// fast path every site reduces to when obs is off. The pair is captured in
+// bench/BENCH_PR7.json and gated in CI: tracing must stay a few-ns tax on a
+// ~µs decision, never a second mutex on the hot path.
+void RunObsAdmissionLoop(benchmark::State& state, TraceRecorder* trace,
+                         MetricsRegistry* metrics) {
+  static AdmissionHarness* harness = new AdmissionHarness(/*force_locked=*/false);
+  Counter* admitted = metrics != nullptr ? metrics->GetCounter("module.m0.admitted") : nullptr;
+  TraceShard* shard = trace != nullptr ? trace->ThisThreadShard() : nullptr;
+  std::vector<TraceEvent> scratch;
+  Request req;
+  req.id = 1;
+  req.sent = kUsPerSec;
+  req.slo = harness->spec.slo();
+  req.deadline = req.sent + req.slo;
+  req.hops.resize(5);
+  const SimTime now = kUsPerSec + 5 * kUsPerMs;
+  AdmissionContext ctx;
+  ctx.request = &req;
+  ctx.module_id = 0;
+  ctx.now = now;
+  ctx.batch_start = now;
+  ctx.batch_duration = 10 * kUsPerMs;
+  ctx.batch_size = 8;
+  benchmark::DoNotOptimize(trace);
+  benchmark::DoNotOptimize(metrics);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness->control->AdmitAtModule(req, 0, now));
+    benchmark::DoNotOptimize(harness->control->ShouldDrop(ctx));
+    ++n;
+    if (metrics != nullptr) {
+      admitted->Add(1);
+    }
+    if (trace != nullptr) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kAdmit;
+      ev.module = 0;
+      ev.request_id = n;  // Varies the sampling hash input, like real ids.
+      ev.ts = now;
+      trace->EmitSampled(ev);
+      if ((n & 8191u) == 0) {
+        // Keep the SPSC ring from saturating into the (cheaper) drop-newest
+        // path; producer-side drains are the simulator's own pattern.
+        scratch.clear();
+        shard->Drain(&scratch);
+      }
+    }
+  }
+}
+
+void BM_ObsAdmissionUntraced(benchmark::State& state) {
+  RunObsAdmissionLoop(state, nullptr, nullptr);
+}
+BENCHMARK(BM_ObsAdmissionUntraced);
+
+void BM_ObsAdmissionTraced(benchmark::State& state) {
+  static TraceRecorder* recorder = [] {
+    TraceRecorder::Options options;
+    options.sample_rate = 1.0;  // Worst case: every request traced.
+    options.seed = 42;
+    return new TraceRecorder(options);
+  }();
+  static MetricsRegistry* registry = new MetricsRegistry();
+  RunObsAdmissionLoop(state, recorder, registry);
+}
+BENCHMARK(BM_ObsAdmissionTraced);
+
 // --- End to end ------------------------------------------------------------
 
 // A complete compressed experiment (trace generation, serving, analysis):
@@ -389,6 +464,39 @@ void BM_EndToEndRun(benchmark::State& state) {
   state.counters["requests"] = benchmark::Counter(static_cast<double>(requests));
 }
 BENCHMARK(BM_EndToEndRun)->Unit(benchmark::kMillisecond);
+
+// The same compressed experiment with the full observability stack wired in
+// at sample rate 1.0 (every request traced, all metrics live) — the
+// whole-event-loop half of the traced/untraced overhead gate. Compare with
+// BM_EndToEndRun: the delta is the total tracing tax on a simulator run.
+void BM_EndToEndRunTraced(benchmark::State& state) {
+  ExperimentConfig config;
+  config.app = "lv";
+  config.trace = "tweet";
+  config.policy = "pard";
+  config.duration_s = 2.0;
+  config.base_rate = 60.0;
+  config.seed = 7;
+  config.provision_factor = 1.25;
+  config.runtime.enable_scaling = true;
+  config.runtime.scaling_epoch = 5 * kUsPerSec;
+  std::size_t requests = 0;
+  for (auto _ : state) {
+    TraceRecorder::Options trace_options;
+    trace_options.sample_rate = 1.0;
+    trace_options.seed = config.seed;
+    TraceRecorder recorder(trace_options);
+    MetricsRegistry registry;
+    config.runtime.trace = &recorder;
+    config.runtime.metrics = &registry;
+    const ExperimentResult result = RunExperiment(config);
+    requests = result.analysis->Total();
+    benchmark::DoNotOptimize(result.analysis->DropRate());
+    benchmark::DoNotOptimize(recorder.total_dropped_events());
+  }
+  state.counters["requests"] = benchmark::Counter(static_cast<double>(requests));
+}
+BENCHMARK(BM_EndToEndRunTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace pard

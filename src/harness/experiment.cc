@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "exec/sharded_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "exec/sweep_runner.h"
 #include "exec/thread_pool.h"
 #include "pipeline/apps.h"
@@ -67,6 +69,44 @@ std::unique_ptr<DropPolicy> BuildPolicy(const ExperimentConfig& config, std::uin
   return MakePolicy(config.policy, params);
 }
 
+// Owns the run's observability objects (the runtime only borrows pointers).
+// Wire() installs them into `runtime`; Export() writes the output files
+// after the run has quiesced.
+struct ObsSession {
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<MetricsRegistry> metrics;
+
+  // `ring_capacity` is per emitting thread: the simulator is one producer,
+  // so it gets one large ring; serve mode keeps per-thread rings modest and
+  // relies on the self-describing dropped_events count (or sampling) when a
+  // long run overflows them.
+  void Wire(const ExperimentConfig& config, RuntimeOptions& runtime,
+            std::size_t ring_capacity) {
+    if (!config.obs.trace_out.empty()) {
+      TraceRecorder::Options options;
+      options.sample_rate = config.obs.trace_sample_rate;
+      options.seed = config.seed;
+      options.ring_capacity = ring_capacity;
+      trace = std::make_unique<TraceRecorder>(options);
+      runtime.trace = trace.get();
+    }
+    if (!config.obs.metrics_out.empty()) {
+      metrics = std::make_unique<MetricsRegistry>();
+      runtime.metrics = metrics.get();
+      runtime.metrics_interval = SecToUs(config.obs.metrics_interval_s);
+    }
+  }
+
+  void Export(const ExperimentConfig& config) {
+    if (trace) {
+      trace->WriteChromeTrace(config.obs.trace_out);
+    }
+    if (metrics) {
+      metrics->WriteJson(config.obs.metrics_out);
+    }
+  }
+};
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -75,16 +115,20 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const std::vector<SimTime> arrivals = BuildWorkload(config, result);
 
   std::unique_ptr<DropPolicy> policy = BuildPolicy(config, config.seed);
-  const RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
+  RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
+  ObsSession obs;
+  obs.Wire(config, runtime, /*ring_capacity=*/std::size_t{1} << 20);
 
   PipelineRuntime pipeline(result.spec, runtime, policy.get(), result.mean_input_rate);
   pipeline.RunTrace(arrivals);
+  obs.Export(config);
 
   result.worker_history = pipeline.worker_history();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }
   result.analysis = std::make_unique<RunAnalysis>(pipeline.requests(), result.spec);
+  result.drop_reason_counts = result.analysis->DropReasonCounts();
   return result;
 }
 
@@ -121,16 +165,20 @@ ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeO
   PARD_CHECK_MSG(!arrivals.empty(), "serve workload produced no arrivals");
 
   std::unique_ptr<DropPolicy> policy = BuildPolicy(config, config.seed);
-  const RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
+  RuntimeOptions runtime = BuildRuntimeOptions(config, config.seed);
+  ObsSession obs;
+  obs.Wire(config, runtime, /*ring_capacity=*/std::size_t{1} << 16);
 
   ServeRuntime server(result.spec, runtime, policy.get(), result.mean_input_rate, serve);
   server.RunTrace(arrivals);
+  obs.Export(config);
 
   result.worker_history = server.worker_history();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }
   result.analysis = std::make_unique<RunAnalysis>(server.requests(), result.spec);
+  result.drop_reason_counts = result.analysis->DropReasonCounts();
   return result;
 }
 
@@ -145,6 +193,8 @@ ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards
   if (shards <= 1) {
     return RunExperiment(config);
   }
+  PARD_CHECK_MSG(config.obs.trace_out.empty() && config.obs.metrics_out.empty(),
+                 "--trace-out/--metrics-out are not supported with --shards > 1");
   ExperimentResult result;
   result.spec = BuildSpec(config);
   const std::vector<SimTime> arrivals = BuildWorkload(config, result);
@@ -170,6 +220,7 @@ ExperimentResult RunShardedExperiment(const ExperimentConfig& config, int shards
 
   result.analysis = std::make_unique<RunAnalysis>(
       MergeShardRecords(sharded, std::move(shard_requests)), result.spec);
+  result.drop_reason_counts = result.analysis->DropReasonCounts();
   return result;
 }
 

@@ -60,6 +60,21 @@ struct ExperimentConfig {
 
   // Optional SLO override (us); 0 keeps the app default.
   Duration slo_override = 0;
+
+  // Observability (src/obs/). When trace_out / metrics_out are non-empty the
+  // harness owns a TraceRecorder / MetricsRegistry for the run, wires the
+  // borrowed pointers into `runtime`, and writes the export file after the
+  // run returns. Leave the paths empty (the default) to disable all
+  // instrumentation — goldens stay bit-identical. Not supported for sharded
+  // runs (RunShardedExperiment rejects it; shard traces would interleave one
+  // trace clock across shard-local clocks).
+  struct ObsConfig {
+    std::string trace_out;              // Chrome trace-event JSON (Perfetto).
+    double trace_sample_rate = 1.0;     // Fraction of requests traced.
+    std::string metrics_out;            // Metrics JSON (totals + time series).
+    double metrics_interval_s = 1.0;    // Serve-mode sampler period (virtual s).
+  };
+  ObsConfig obs;
 };
 
 struct ExperimentResult {
@@ -68,6 +83,11 @@ struct ExperimentResult {
   RateFunction trace;
   TraceRegion burst_region{0, 0};
   double mean_input_rate = 0.0;
+
+  // Dropped-request counts by DropReason, indexed by the enum value (size
+  // kNumDropReasons); mirrors analysis->DropReasonCounts() so callers that
+  // only keep the summary still get the breakdown.
+  std::vector<std::size_t> drop_reason_counts;
 
   // PARD-specific extras (empty for other policies).
   std::vector<PardPolicy::TransitionSample> transitions;

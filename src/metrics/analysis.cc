@@ -43,6 +43,16 @@ std::size_t RunAnalysis::DroppedCount() const {
   return n;
 }
 
+std::vector<std::size_t> RunAnalysis::DropReasonCounts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(kNumDropReasons), 0);
+  for (const RequestPtr& r : requests_) {
+    if (r->CountsDropped()) {
+      ++counts[static_cast<std::size_t>(r->drop_reason)];
+    }
+  }
+  return counts;
+}
+
 double RunAnalysis::DropRate() const {
   if (requests_.empty()) {
     return 0.0;

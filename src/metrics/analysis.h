@@ -30,6 +30,11 @@ class RunAnalysis {
   std::size_t Total() const { return requests_.size(); }
   std::size_t GoodCount() const;     // Completed within SLO.
   std::size_t DroppedCount() const;  // Policy drops + late completions (§5.1).
+  // Dropped-request counts by attributed DropReason, indexed by the enum
+  // value (size kNumDropReasons). Index 0 (kNone) counts dropped requests
+  // that lost attribution — always 0 when the runtimes behave (conservation:
+  // the non-zero indices sum exactly to DroppedCount()).
+  std::vector<std::size_t> DropReasonCounts() const;
 
   // Fraction of requests counted as dropped.
   double DropRate() const;

@@ -28,6 +28,21 @@ JsonValue BuildRunReport(const RunAnalysis& analysis, const ReportOptions& optio
   summary["invalid_rate"] = analysis.InvalidRate();
   summary["mean_goodput_rps"] = analysis.MeanGoodput();
   summary["normalized_goodput"] = analysis.NormalizedGoodput();
+  // Drop-reason breakdown: per-reason counts that sum exactly to
+  // summary.dropped (conservation; "none" flags unattributed drops — a bug).
+  {
+    const std::vector<std::size_t> reasons = analysis.DropReasonCounts();
+    JsonObject breakdown;
+    for (int r = 0; r < kNumDropReasons; ++r) {
+      const std::size_t count = reasons[static_cast<std::size_t>(r)];
+      if (r == 0 && count == 0) {
+        continue;  // Omit the healthy "none: 0" entry.
+      }
+      breakdown[DropReasonName(static_cast<DropReason>(r))] =
+          static_cast<std::int64_t>(count);
+    }
+    summary["drop_reasons"] = std::move(breakdown);
+  }
   report["summary"] = std::move(summary);
 
   JsonObject per_module;

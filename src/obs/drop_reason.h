@@ -1,0 +1,70 @@
+// Drop-reason attribution.
+//
+// Every request that ends in RequestFate::kDropped or kLate carries exactly
+// one DropReason naming the mechanism that killed it — without this the
+// metrics can say *that* goodput was lost but never *why*. Reasons are
+// assigned at the drop site (ModuleRuntime/Worker in the simulator,
+// ServeRuntime/ServeModule in the serving runtime) and are conserved: the
+// per-reason counts sum exactly to the run's total drop count (pinned by
+// tests/serve_test.cc and tests/obs_test.cc).
+//
+// Glossary (see README "Observability" for the operator-facing version):
+//   kProactiveAdmission — the enqueue-time admission check (the paper's
+//       proactive drop) rejected the request before it entered any queue.
+//   kBrokerCandidate    — the Request Broker predicate rejected the request
+//       as a batch candidate (at batch formation, or at the serve runtime's
+//       ingress front-end where delivery doubles as the hypothetical batch
+//       start).
+//   kPurgeExpired       — the deadline passed while the request sat in a
+//       queue; it was evicted by the purge-expired sweep.
+//   kDrainAbandoned     — the run's drain deadline hit with the request
+//       still in flight (backlog abandoned at shutdown).
+//   kFaultKilled        — infrastructure loss: the worker executing (or
+//       queueing) the request was killed, or no dispatchable worker existed
+//       at delivery time (all cold / draining / failed).
+//   kSloLate            — the request finished execution but after its
+//       deadline (completed-but-late counts as dropped, §5.1).
+#ifndef PARD_OBS_DROP_REASON_H_
+#define PARD_OBS_DROP_REASON_H_
+
+#include <cstdint>
+
+namespace pard {
+
+enum class DropReason : std::uint8_t {
+  kNone = 0,  // Not dropped (or dropped without attribution — a bug).
+  kProactiveAdmission = 1,
+  kBrokerCandidate = 2,
+  kPurgeExpired = 3,
+  kDrainAbandoned = 4,
+  kFaultKilled = 5,
+  kSloLate = 6,
+};
+
+inline constexpr int kNumDropReasons = 7;  // Including kNone.
+
+// Stable snake_case identifier, used as the metrics/report JSON key and the
+// trace-event argument.
+inline const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kProactiveAdmission:
+      return "proactive_admission";
+    case DropReason::kBrokerCandidate:
+      return "broker_candidate";
+    case DropReason::kPurgeExpired:
+      return "purge_expired";
+    case DropReason::kDrainAbandoned:
+      return "drain_abandoned";
+    case DropReason::kFaultKilled:
+      return "fault_killed";
+    case DropReason::kSloLate:
+      return "slo_late";
+  }
+  return "unknown";
+}
+
+}  // namespace pard
+
+#endif  // PARD_OBS_DROP_REASON_H_

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace pard {
+
+std::size_t Counter::StripeIndex() {
+  // Distinct threads land on distinct stripes round-robin; the id is cached
+  // per thread so the hot path is a thread_local load and a masked add.
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+AtomicHistogram::AtomicHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      inv_width_(static_cast<double>(buckets) / (hi - lo)),
+      buckets_(buckets) {
+  PARD_CHECK_MSG(buckets >= 1 && hi > lo,
+                 "histogram needs hi > lo and >= 1 bucket");
+}
+
+void AtomicHistogram::Observe(double value) {
+  if (!(value >= lo_)) {  // also catches NaN
+    under_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (value >= hi_) {
+    over_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) * inv_width_);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;  // fp edge
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void AtomicHistogram::Merge(const AtomicHistogram& other) {
+  PARD_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                     buckets_.size() == other.buckets_.size(),
+                 "cannot merge histograms with different layouts: ["
+                     << lo_ << "," << hi_ << ")x" << buckets_.size()
+                     << " vs [" << other.lo_ << "," << other.hi_ << ")x"
+                     << other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  under_.fetch_add(other.under_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  over_.fetch_add(other.over_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+std::int64_t AtomicHistogram::Count() const {
+  std::int64_t total = under_.load(std::memory_order_relaxed) +
+                       over_.load(std::memory_order_relaxed);
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+JsonValue AtomicHistogram::ToJson() const {
+  JsonObject obj;
+  obj["lo"] = JsonValue(lo_);
+  obj["hi"] = JsonValue(hi_);
+  obj["underflow"] = JsonValue(static_cast<double>(UnderflowCount()));
+  obj["overflow"] = JsonValue(static_cast<double>(OverflowCount()));
+  JsonArray counts;
+  counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    counts.emplace_back(
+        static_cast<double>(b.load(std::memory_order_relaxed)));
+  }
+  obj["counts"] = JsonValue(std::move(counts));
+  return JsonValue(std::move(obj));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+AtomicHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               double lo, double hi,
+                                               std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<AtomicHistogram>(lo, hi, buckets);
+  } else {
+    PARD_CHECK_MSG(slot->lo() == lo && slot->hi() == hi &&
+                       slot->bucket_count() == buckets,
+                   "histogram '" << name
+                                 << "' re-registered with a different layout");
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::Sample(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleRow row;
+  row.t = now;
+  row.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    row.counters.emplace_back(name, counter->Value());
+  }
+  row.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    row.gauges.emplace_back(name, gauge->Value());
+  }
+  samples_.push_back(std::move(row));
+}
+
+std::size_t MetricsRegistry::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonObject root;
+  JsonObject totals;
+  for (const auto& [name, counter] : counters_) {
+    totals[name] = JsonValue(static_cast<double>(counter->Value()));
+  }
+  root["totals"] = JsonValue(std::move(totals));
+  JsonObject gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = JsonValue(static_cast<double>(gauge->Value()));
+  }
+  root["gauges"] = JsonValue(std::move(gauges));
+  JsonObject hists;
+  for (const auto& [name, hist] : histograms_) {
+    hists[name] = hist->ToJson();
+  }
+  root["histograms"] = JsonValue(std::move(hists));
+  JsonArray samples;
+  samples.reserve(samples_.size());
+  for (const SampleRow& row : samples_) {
+    JsonObject sample;
+    sample["t_s"] = JsonValue(UsToSec(row.t));
+    JsonObject counters;
+    for (const auto& [name, value] : row.counters) {
+      counters[name] = JsonValue(static_cast<double>(value));
+    }
+    sample["counters"] = JsonValue(std::move(counters));
+    JsonObject gauges_row;
+    for (const auto& [name, value] : row.gauges) {
+      gauges_row[name] = JsonValue(static_cast<double>(value));
+    }
+    sample["gauges"] = JsonValue(std::move(gauges_row));
+    samples.emplace_back(std::move(sample));
+  }
+  root["samples"] = JsonValue(std::move(samples));
+  return JsonValue(std::move(root));
+}
+
+void MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  PARD_CHECK_MSG(out.good(), "cannot open metrics output file: " << path);
+  out << ToJson().Dump(2) << "\n";
+  PARD_CHECK_MSG(out.good(), "failed writing metrics output file: " << path);
+}
+
+}  // namespace pard

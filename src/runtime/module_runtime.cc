@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "runtime/pipeline_runtime.h"
 
 namespace pard {
@@ -33,6 +35,14 @@ ModuleRuntime::ModuleRuntime(Simulation* sim, PipelineRuntime* pipeline, Backend
         std::make_shared<Worker>(sim_, this, fleet_, fleet_->Provision(spec_.id, sim_->Now()));
     worker->Activate();  // Initial fleet starts warm.
     workers_.push_back(std::move(worker));
+  }
+  if (options_.metrics != nullptr) {
+    const std::string prefix = "module.m" + std::to_string(spec_.id) + ".";
+    admitted_counter_ = options_.metrics->GetCounter(prefix + "admitted");
+    executed_counter_ = options_.metrics->GetCounter(prefix + "executed");
+    batch_size_hist_ = options_.metrics->GetHistogram(
+        prefix + "batch_size", 0.0, static_cast<double>(batch_size_) + 1.0,
+        static_cast<std::size_t>(batch_size_) + 1);
   }
 }
 
@@ -80,7 +90,7 @@ void ModuleRuntime::Receive(RequestPtr req) {
   }
   if (!policy_->AdmitAtModule(*req, spec_.id, now)) {
     req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
-    OnPolicyDrop(std::move(req));
+    OnPolicyDrop(std::move(req), DropReason::kProactiveAdmission);
     return;
   }
   Worker* worker = ChooseWorker();
@@ -88,15 +98,28 @@ void ModuleRuntime::Receive(RequestPtr req) {
     // No dispatchable worker (all cold / draining): treat as a policy-
     // independent infrastructure drop so the request does not dangle.
     req->hops[static_cast<std::size_t>(spec_.id)].arrive = now;
-    OnPolicyDrop(std::move(req));
+    OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
     return;
+  }
+  if (admitted_counter_ != nullptr) {
+    admitted_counter_->Add();
+  }
+  if (TraceRecorder* trace = pipeline_->trace(); trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kAdmit;
+    ev.module = spec_.id;
+    ev.request_id = req->id;
+    ev.ts = now;
+    trace->EmitSampled(ev);
   }
   worker->Enqueue(std::move(req));
 }
 
 void ModuleRuntime::OnExecuted(RequestPtr req) { pipeline_->OnModuleDone(std::move(req), spec_.id); }
 
-void ModuleRuntime::OnPolicyDrop(RequestPtr req) { pipeline_->Drop(std::move(req), spec_.id); }
+void ModuleRuntime::OnPolicyDrop(RequestPtr req, DropReason reason) {
+  pipeline_->Drop(std::move(req), spec_.id, reason);
+}
 
 void ModuleRuntime::RecordQueueDelay(SimTime now, Duration q_delay) {
   queue_delay_window_.Add(now, static_cast<double>(q_delay));

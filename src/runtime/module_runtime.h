@@ -28,6 +28,8 @@
 namespace pard {
 
 class PipelineRuntime;
+class Counter;          // obs/metrics.h
+class AtomicHistogram;  // obs/metrics.h
 
 class ModuleRuntime {
  public:
@@ -83,7 +85,13 @@ class ModuleRuntime {
   void RecordBatchWait(SimTime now, Duration wait);
   void RecordStageLatency(SimTime now, Duration stage_latency);
   void OnExecuted(RequestPtr req);          // Forward downstream.
-  void OnPolicyDrop(RequestPtr req);        // Request Broker dropped it.
+  // Drop with attribution (policy sites pass kProactiveAdmission /
+  // kBrokerCandidate / kPurgeExpired; infrastructure sites kFaultKilled).
+  void OnPolicyDrop(RequestPtr req, DropReason reason);
+  // Per-module executed tally + batch-size histogram (null when metrics
+  // are disabled).
+  Counter* executed_counter() const { return executed_counter_; }
+  AtomicHistogram* batch_size_hist() const { return batch_size_hist_; }
 
  private:
   friend class Worker;
@@ -117,6 +125,11 @@ class ModuleRuntime {
   // Per-second arrival bins for input rate / burstiness (covers the stats
   // window; shared arithmetic with the serving runtime's modules).
   RateMonitor rate_monitor_;
+
+  // Pre-resolved instruments (null when options_.metrics is null).
+  Counter* admitted_counter_ = nullptr;
+  Counter* executed_counter_ = nullptr;
+  AtomicHistogram* batch_size_hist_ = nullptr;
 };
 
 }  // namespace pard

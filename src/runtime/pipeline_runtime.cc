@@ -6,9 +6,19 @@
 
 #include "common/check.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "runtime/batch_planner.h"
 
 namespace pard {
+
+namespace {
+// Shared metric names with the serving runtime so dashboards read the same
+// keys regardless of substrate.
+std::string DropCounterName(DropReason reason) {
+  return std::string("fate.dropped.") + DropReasonName(reason);
+}
+}  // namespace
 
 PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions& options,
                                  DropPolicy* policy, double expected_rate)
@@ -36,6 +46,13 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
         batch_sizes_[static_cast<std::size_t>(m.id)], workers[static_cast<std::size_t>(m.id)],
         options_, policy_));
   }
+  if (options_.metrics != nullptr) {
+    completed_counter_ = options_.metrics->GetCounter("fate.completed");
+    for (int r = 1; r < kNumDropReasons; ++r) {
+      drop_reason_counters_[r] = options_.metrics->GetCounter(
+          DropCounterName(static_cast<DropReason>(r)));
+    }
+  }
   // Periodic control-plane ticks.
   sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
   if (options_.enable_scaling) {
@@ -59,6 +76,15 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
         m.FailWorkers(event.count);
       } else {
         m.AddWorkers(event.count);
+      }
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kFleet;
+        ev.module = event.module_id;
+        ev.ts = sim_.Now();
+        ev.arg0 = event.kind == FleetEvent::Kind::kKill ? 0 : 1;
+        ev.arg1 = event.count;
+        options_.trace->Emit(ev);
       }
     });
   }
@@ -161,18 +187,52 @@ void PipelineRuntime::OnModuleDone(RequestPtr req, int module_id) {
   }
 }
 
-void PipelineRuntime::Drop(RequestPtr req, int module_id) {
+void PipelineRuntime::Drop(RequestPtr req, int module_id, DropReason reason) {
   if (req->Terminal()) {
     return;
   }
   req->fate = RequestFate::kDropped;
   req->drop_module = module_id;
   req->finish = sim_.Now();
+  req->drop_reason = reason;
+  if (drop_reason_counters_[static_cast<int>(reason)] != nullptr) {
+    drop_reason_counters_[static_cast<int>(reason)]->Add();
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFate;
+    ev.module = module_id;
+    ev.request_id = req->id;
+    ev.ts = req->finish;
+    ev.arg0 = static_cast<std::int64_t>(req->fate);
+    ev.arg1 = static_cast<std::int64_t>(reason);
+    options_.trace->EmitSampled(ev);
+  }
 }
 
 void PipelineRuntime::Complete(RequestPtr req) {
   req->finish = sim_.Now();
   req->fate = req->finish <= req->deadline ? RequestFate::kCompleted : RequestFate::kLate;
+  if (req->fate == RequestFate::kLate) {
+    req->drop_reason = DropReason::kSloLate;
+  }
+  if (options_.metrics != nullptr) {
+    if (req->fate == RequestFate::kCompleted) {
+      completed_counter_->Add();
+    } else {
+      drop_reason_counters_[static_cast<int>(DropReason::kSloLate)]->Add();
+    }
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFate;
+    ev.module = -1;
+    ev.request_id = req->id;
+    ev.ts = req->finish;
+    ev.arg0 = static_cast<std::int64_t>(req->fate);
+    ev.arg1 = static_cast<std::int64_t>(req->drop_reason);
+    options_.trace->EmitSampled(ev);
+  }
 }
 
 void PipelineRuntime::SyncTick() {
@@ -181,6 +241,22 @@ void PipelineRuntime::SyncTick() {
     m->Sync(now, &board_);
   }
   policy_->OnSync(now);
+  ++sync_count_;
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kEpochSync;
+    ev.module = -1;
+    ev.ts = now;
+    ev.arg0 = sync_count_;
+    options_.trace->Emit(ev);
+  }
+  // Sim-mode metrics sampling happens here — at sim-event granularity on the
+  // single simulator thread — so the exported series is a deterministic
+  // function of the seed (no wall-clock sampler involved).
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("control.sync_epoch")->Set(sync_count_);
+    options_.metrics->Sample(now);
+  }
   if (now <= last_arrival_ + options_.drain) {
     sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
   }
@@ -225,6 +301,12 @@ void PipelineRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
     if (!req->Terminal()) {
       req->fate = RequestFate::kLate;
       req->finish = sim_.Now();
+      req->drop_reason = DropReason::kDrainAbandoned;
+      if (drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)] !=
+          nullptr) {
+        drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)]
+            ->Add();
+      }
     }
   }
 }

@@ -24,6 +24,8 @@
 
 namespace pard {
 
+class Counter;  // obs/metrics.h
+
 class PipelineRuntime {
  public:
   // `policy` must outlive the runtime. Worker provisioning uses
@@ -61,7 +63,11 @@ class PipelineRuntime {
 
   // --- Internal transitions (called by ModuleRuntime/Worker) --------------
   void OnModuleDone(RequestPtr req, int module_id);
-  void Drop(RequestPtr req, int module_id);
+  void Drop(RequestPtr req, int module_id, DropReason reason);
+
+  // Observability (null when disabled via RuntimeOptions).
+  TraceRecorder* trace() { return options_.trace; }
+  MetricsRegistry* metrics() { return options_.metrics; }
 
  private:
   void Inject();
@@ -88,6 +94,11 @@ class PipelineRuntime {
   std::vector<WorkerSample> worker_history_;
   std::uint64_t next_request_id_ = 1;
   SimTime last_arrival_ = 0;
+  // Pre-resolved instruments (null when options_.metrics is null): fate
+  // tallies by outcome/reason, bumped on the single simulator thread.
+  Counter* completed_counter_ = nullptr;
+  Counter* drop_reason_counters_[kNumDropReasons] = {};
+  std::int64_t sync_count_ = 0;
 };
 
 }  // namespace pard

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/time_types.h"
+#include "obs/drop_reason.h"
 
 namespace pard {
 
@@ -57,6 +58,9 @@ struct Request {
   RequestFate fate = RequestFate::kInFlight;
   int drop_module = -1;   // Module where the policy dropped it (-1 otherwise).
   SimTime finish = -1;    // Completion or drop time.
+  // Why the request counts as dropped (kNone iff fate is kCompleted or
+  // kInFlight). Written with `fate` under the same synchronization.
+  DropReason drop_reason = DropReason::kNone;
 
   // Indexed by module id; unvisited modules keep arrive == -1.
   std::vector<HopRecord> hops;

@@ -21,8 +21,21 @@ struct FleetEvent {
   int count = 1;
 };
 
+class TraceRecorder;   // obs/trace_recorder.h
+class MetricsRegistry;  // obs/metrics.h
+
 struct RuntimeOptions {
   std::uint64_t seed = 42;
+
+  // Observability (obs/). Both pointers are borrowed — the harness (or test)
+  // owns the recorder/registry and must outlive the runtime. Null = disabled;
+  // every instrumentation site then reduces to a single pointer test, and
+  // simulator runs stay bit-identical to the uninstrumented kernel.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  // Serve-mode sampler period (virtual time) for MetricsRegistry::Sample.
+  // The simulator instead samples deterministically at every sync tick.
+  Duration metrics_interval = 1 * kUsPerSec;
 
   // Controller state-sync period (paper: once per second).
   Duration sync_period = 1 * kUsPerSec;

@@ -3,7 +3,10 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "runtime/module_runtime.h"
+#include "runtime/pipeline_runtime.h"
 
 namespace pard {
 
@@ -59,7 +62,7 @@ void Worker::FillFormingBatch() {
       }
       if (!expired->Terminal()) {
         expired->hops[static_cast<std::size_t>(module_->module_id())].batch_entry = sim_->Now();
-        module_->OnPolicyDrop(std::move(expired));
+        module_->OnPolicyDrop(std::move(expired), DropReason::kPurgeExpired);
       }
     }
   }
@@ -85,7 +88,7 @@ void Worker::FillFormingBatch() {
     HopRecord& hop = req->hops[static_cast<std::size_t>(module_->module_id())];
     if (policy->ShouldDrop(ctx)) {
       hop.batch_entry = now;
-      module_->OnPolicyDrop(std::move(req));
+      module_->OnPolicyDrop(std::move(req), DropReason::kBrokerCandidate);
       continue;
     }
     hop.batch_entry = now;
@@ -128,20 +131,20 @@ void Worker::Fail() {
   if (executing_) {
     sim_->Cancel(exec_event_);
     for (RequestPtr& req : executing_batch_) {
-      module_->OnPolicyDrop(std::move(req));
+      module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
     }
     executing_batch_.clear();
     executing_ = false;
   }
   for (RequestPtr& req : forming_) {
-    module_->OnPolicyDrop(std::move(req));
+    module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
   }
   forming_.clear();
   while (!queue_.Empty()) {
     RequestPtr req = queue_.Pop(PopSide::kOldest);
     if (req != nullptr && !req->Terminal()) {
       req->hops[static_cast<std::size_t>(module_id)].batch_entry = sim_->Now();
-      module_->OnPolicyDrop(std::move(req));
+      module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
     }
   }
   state_ = State::kRetired;
@@ -158,11 +161,41 @@ void Worker::OnBatchComplete() {
   std::vector<RequestPtr> done = std::move(executing_batch_);
   executing_batch_.clear();
   executing_ = false;
+  if (module_->executed_counter() != nullptr) {
+    module_->executed_counter()->Add(count);
+    module_->batch_size_hist()->Observe(static_cast<double>(count));
+  }
+  TraceRecorder* trace = module_->pipeline()->trace();
+  if (trace != nullptr) {
+    TraceEvent batch_ev;
+    batch_ev.kind = TraceEventKind::kBatchExec;
+    batch_ev.module = module_id;
+    batch_ev.ts = exec_start_;
+    batch_ev.dur = d;
+    batch_ev.arg0 = count;
+    trace->Emit(batch_ev);
+  }
   for (RequestPtr& req : done) {
     HopRecord& hop = req->hops[static_cast<std::size_t>(module_id)];
     hop.exec_end = now;
     hop.gpu_time = gpu_share;
     hop.executed = true;
+    if (trace != nullptr && trace->Sampled(req->id)) {
+      TraceEvent queue_ev;
+      queue_ev.kind = TraceEventKind::kQueueSpan;
+      queue_ev.module = module_id;
+      queue_ev.request_id = req->id;
+      queue_ev.ts = hop.arrive;
+      queue_ev.dur = hop.batch_entry - hop.arrive;
+      trace->Emit(queue_ev);
+      TraceEvent exec_ev;
+      exec_ev.kind = TraceEventKind::kExecSpan;
+      exec_ev.module = module_id;
+      exec_ev.request_id = req->id;
+      exec_ev.ts = hop.exec_start;
+      exec_ev.dur = hop.ExecDuration();
+      trace->Emit(exec_ev);
+    }
     module_->RecordStageLatency(now, now - hop.arrive);
     module_->OnExecuted(std::move(req));
   }

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/lock_order.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "serve/serve_runtime.h"
 
 namespace pard {
@@ -32,6 +34,18 @@ ServeModule::ServeModule(ServeRuntime* runtime, BackendFleet* fleet, const Modul
   shards_.reserve(static_cast<std::size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<QueueShard>(options.stats_window, reservoir_per_shard));
+  }
+  if (options_.metrics != nullptr) {
+    const std::string prefix = "module.m" + std::to_string(spec_.id) + ".";
+    executed_counter_ = options_.metrics->GetCounter(prefix + "executed");
+    steal_counter_ = options_.metrics->GetCounter(prefix + "steals");
+    batch_size_hist_ = options_.metrics->GetHistogram(
+        prefix + "batch_size", 0.0, static_cast<double>(batch_size_) + 1.0,
+        static_cast<std::size_t>(batch_size_) + 1);
+    for (int i = 0; i < num_shards; ++i) {
+      depth_gauges_.push_back(options_.metrics->GetGauge(
+          prefix + "shard" + std::to_string(i) + ".depth"));
+    }
   }
 }
 
@@ -152,8 +166,12 @@ void ServeModule::NoteOffered(SimTime now) {
 
 void ServeModule::Receive(RequestPtr req) {
   const SimTime now = runtime_->clock().Now();
-  QueueShard& shard =
-      *shards_[push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
+  const std::size_t shard_index =
+      push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  QueueShard& shard = *shards_[shard_index];
+  if (!depth_gauges_.empty()) {
+    depth_gauges_[shard_index]->Add(1);
+  }
   {
     LockOrderGuard order(LockRank::kQueueShard);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -186,13 +204,16 @@ void ServeModule::Abort() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  for (auto& shard_ptr : shards_) {
-    QueueShard& shard = *shard_ptr;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    QueueShard& shard = *shards_[i];
     LockOrderGuard order(LockRank::kQueueShard);
     std::lock_guard<std::mutex> lock(shard.mu);
     while (!shard.queue.Empty()) {
       shard.queue.Pop(PopSide::kOldest);  // Discard; leftovers are swept kLate.
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      if (!depth_gauges_.empty()) {
+        depth_gauges_[i]->Add(-1);
+      }
     }
   }
   work_ready_.notify_all();
@@ -200,52 +221,78 @@ void ServeModule::Abort() {
 
 void ServeModule::Join() { workers_.Join(); }
 
-void ServeModule::FormBatchFromShard(QueueShard& shard, SimTime now, Duration d_k,
+void ServeModule::FormBatchFromShard(QueueShard& shard, int shard_index,
+                                     bool stolen, SimTime now, Duration d_k,
                                      std::vector<RequestPtr>* batch) {
   ControlPlane& control = runtime_->control();
-  LockOrderGuard order(LockRank::kQueueShard);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (control.PurgeExpired()) {
-    // Deadline already passed while queued: unservable under any policy.
-    while (shard.queue.MinDeadline() < now) {
-      RequestPtr expired = shard.queue.Pop(PopSide::kMinBudget);
-      if (expired == nullptr) {
+  TraceRecorder* trace = runtime_->trace();
+  std::int64_t popped = 0;
+  std::int64_t stolen_count = 0;
+  {
+    LockOrderGuard order(LockRank::kQueueShard);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (control.PurgeExpired()) {
+      // Deadline already passed while queued: unservable under any policy.
+      while (shard.queue.MinDeadline() < now) {
+        RequestPtr expired = shard.queue.Pop(PopSide::kMinBudget);
+        if (expired == nullptr) {
+          break;
+        }
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        ++popped;
+        if (!runtime_->IsTerminal(*expired)) {
+          expired->hops[static_cast<std::size_t>(spec_.id)].batch_entry = now;
+          runtime_->Drop(expired, spec_.id, now, DropReason::kPurgeExpired);
+        }
+      }
+    }
+    while (static_cast<int>(batch->size()) < batch_size_ && !shard.queue.Empty()) {
+      const PopSide side = control.ChoosePopSide(spec_.id, now);
+      RequestPtr req = shard.queue.Pop(side);
+      if (req == nullptr) {
         break;
       }
       queued_.fetch_sub(1, std::memory_order_relaxed);
-      if (!runtime_->IsTerminal(*expired)) {
-        expired->hops[static_cast<std::size_t>(spec_.id)].batch_entry = now;
-        runtime_->Drop(expired, spec_.id, now);
+      ++popped;
+      if (runtime_->IsTerminal(*req)) {
+        continue;  // Dropped on another DAG branch while queued here.
       }
+      HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
+      hop.batch_entry = now;
+      AdmissionContext ctx;
+      ctx.request = req.get();
+      ctx.module_id = spec_.id;
+      ctx.now = now;
+      // A pull-based worker is free when it forms: the batch starts now.
+      ctx.batch_start = now;
+      ctx.batch_duration = d_k;
+      ctx.batch_size = batch_size_;
+      if (control.ShouldDrop(ctx)) {
+        runtime_->Drop(req, spec_.id, now, DropReason::kBrokerCandidate);
+        continue;
+      }
+      shard.queue_delay_window.Add(shard.Monotonic(now),
+                                   static_cast<double>(hop.QueueDelay()));
+      if (stolen) {
+        ++stolen_count;
+        if (trace != nullptr && trace->Sampled(req->id)) {
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kSteal;
+          ev.module = spec_.id;
+          ev.request_id = req->id;
+          ev.ts = now;
+          ev.arg0 = shard_index;
+          trace->Emit(ev);
+        }
+      }
+      batch->push_back(std::move(req));
     }
   }
-  while (static_cast<int>(batch->size()) < batch_size_ && !shard.queue.Empty()) {
-    const PopSide side = control.ChoosePopSide(spec_.id, now);
-    RequestPtr req = shard.queue.Pop(side);
-    if (req == nullptr) {
-      break;
-    }
-    queued_.fetch_sub(1, std::memory_order_relaxed);
-    if (runtime_->IsTerminal(*req)) {
-      continue;  // Dropped on another DAG branch while queued here.
-    }
-    HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
-    hop.batch_entry = now;
-    AdmissionContext ctx;
-    ctx.request = req.get();
-    ctx.module_id = spec_.id;
-    ctx.now = now;
-    // A pull-based worker is free when it forms: the batch starts now.
-    ctx.batch_start = now;
-    ctx.batch_duration = d_k;
-    ctx.batch_size = batch_size_;
-    if (control.ShouldDrop(ctx)) {
-      runtime_->Drop(req, spec_.id, now);
-      continue;
-    }
-    shard.queue_delay_window.Add(shard.Monotonic(now),
-                                 static_cast<double>(hop.QueueDelay()));
-    batch->push_back(std::move(req));
+  if (popped > 0 && !depth_gauges_.empty()) {
+    depth_gauges_[static_cast<std::size_t>(shard_index)]->Add(-popped);
+  }
+  if (stolen_count > 0 && steal_counter_ != nullptr) {
+    steal_counter_->Add(stolen_count);
   }
 }
 
@@ -257,7 +304,9 @@ std::vector<RequestPtr> ServeModule::FormBatch(int home_shard, SimTime now) {
   // Home shard first, then steal from siblings round-robin until the batch
   // fills. One shard lock at a time, never two.
   for (int i = 0; i < n && static_cast<int>(batch.size()) < batch_size_; ++i) {
-    FormBatchFromShard(*shards_[(home_shard + i) % n], now, d_k, &batch);
+    const int shard_index = (home_shard + i) % n;
+    FormBatchFromShard(*shards_[static_cast<std::size_t>(shard_index)],
+                       shard_index, /*stolen=*/i > 0, now, d_k, &batch);
   }
   return batch;
 }
@@ -328,9 +377,43 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
       // The GPU died mid-batch: the executing batch is lost, mirroring the
       // simulator's Worker::Fail accounting.
       for (const RequestPtr& req : batch) {
-        runtime_->Drop(req, spec_.id, exec_end);
+        runtime_->Drop(req, spec_.id, exec_end, DropReason::kFaultKilled);
       }
       return;
+    }
+
+    if (executed_counter_ != nullptr) {
+      executed_counter_->Add(static_cast<std::int64_t>(batch.size()));
+      batch_size_hist_->Observe(static_cast<double>(batch.size()));
+    }
+    if (TraceRecorder* trace = runtime_->trace(); trace != nullptr) {
+      TraceEvent batch_ev;
+      batch_ev.kind = TraceEventKind::kBatchExec;
+      batch_ev.module = spec_.id;
+      batch_ev.ts = exec_start;
+      batch_ev.dur = exec_end - exec_start;
+      batch_ev.arg0 = static_cast<std::int64_t>(batch.size());
+      trace->Emit(batch_ev);
+      for (const RequestPtr& req : batch) {
+        if (!trace->Sampled(req->id)) {
+          continue;
+        }
+        const HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
+        TraceEvent queue_ev;
+        queue_ev.kind = TraceEventKind::kQueueSpan;
+        queue_ev.module = spec_.id;
+        queue_ev.request_id = req->id;
+        queue_ev.ts = hop.arrive;
+        queue_ev.dur = hop.batch_entry - hop.arrive;
+        trace->Emit(queue_ev);
+        TraceEvent exec_ev;
+        exec_ev.kind = TraceEventKind::kExecSpan;
+        exec_ev.module = spec_.id;
+        exec_ev.request_id = req->id;
+        exec_ev.ts = exec_start;
+        exec_ev.dur = exec_end - exec_start;
+        trace->Emit(exec_ev);
+      }
     }
 
     const Duration gpu_share = (exec_end - exec_start) / static_cast<Duration>(batch.size());

@@ -83,6 +83,9 @@
 namespace pard {
 
 class ServeRuntime;
+class Counter;          // obs/metrics.h
+class Gauge;            // obs/metrics.h
+class AtomicHistogram;  // obs/metrics.h
 
 class ServeModule {
  public:
@@ -187,7 +190,10 @@ class ServeModule {
   // at a time; caller holds NO lock.
   std::vector<RequestPtr> FormBatch(int home_shard, SimTime now);
   // Scans one shard (caller holds no lock; locks shard.mu internally).
-  void FormBatchFromShard(QueueShard& shard, SimTime now, Duration d_k,
+  // `shard_index` names the shard for steal attribution; `stolen` is true
+  // when the scanning worker's home shard is a different one.
+  void FormBatchFromShard(QueueShard& shard, int shard_index, bool stolen,
+                          SimTime now, Duration d_k,
                           std::vector<RequestPtr>* batch);
   // Spawns one roster entry (cold unless `warm`). Caller must be the
   // constructor/control thread.
@@ -215,6 +221,13 @@ class ServeModule {
   std::atomic<std::uint64_t> offered_cursor_{0};  // Round-robin NoteOffered.
 
   WorkerGroup workers_;
+
+  // Pre-resolved instruments (null / empty when options_.metrics is null).
+  // Updates are lock-free; see obs/metrics.h.
+  Counter* executed_counter_ = nullptr;
+  Counter* steal_counter_ = nullptr;
+  AtomicHistogram* batch_size_hist_ = nullptr;
+  std::vector<Gauge*> depth_gauges_;  // One per queue shard.
 };
 
 }  // namespace pard

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/lock_order.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "runtime/batch_planner.h"
 
 namespace pard {
@@ -97,6 +99,19 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
     modules_.push_back(std::make_unique<ServeModule>(
         this, &fleet_, m, profile, batch_sizes_[static_cast<std::size_t>(m.id)],
         worker_plan_[static_cast<std::size_t>(m.id)], options_));
+  }
+  if (options_.metrics != nullptr) {
+    // Same metric names as the simulator (pipeline_runtime.cc), so the two
+    // substrates export comparable series.
+    completed_counter_ = options_.metrics->GetCounter("fate.completed");
+    for (int r = 1; r < kNumDropReasons; ++r) {
+      drop_reason_counters_[r] = options_.metrics->GetCounter(
+          std::string("fate.dropped.") + DropReasonName(static_cast<DropReason>(r)));
+    }
+    for (const ModuleSpec& m : spec_.modules()) {
+      admitted_counters_.push_back(options_.metrics->GetCounter(
+          "module.m" + std::to_string(m.id) + ".admitted"));
+    }
   }
 }
 
@@ -210,7 +225,7 @@ void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
   // the control plane's published snapshot — no control lock on this path.
   if (!control_.AdmitAtModule(*req, module_id, now)) {
     req->hops[static_cast<std::size_t>(module_id)].arrive = now;
-    Drop(req, module_id, now);
+    Drop(req, module_id, now, DropReason::kProactiveAdmission);
     return;
   }
   AdmissionContext ctx;
@@ -223,8 +238,19 @@ void ServeRuntime::Deliver(const RequestPtr& req, int module_id, SimTime now) {
   if (control_.ShouldDrop(ctx)) {
     req->hops[static_cast<std::size_t>(module_id)].arrive = now;
     req->hops[static_cast<std::size_t>(module_id)].batch_entry = now;
-    Drop(req, module_id, now);
+    Drop(req, module_id, now, DropReason::kBrokerCandidate);
     return;
+  }
+  if (!admitted_counters_.empty()) {
+    admitted_counters_[static_cast<std::size_t>(module_id)]->Add();
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kAdmit;
+    ev.module = module_id;
+    ev.request_id = req->id;
+    ev.ts = now;
+    options_.trace->EmitSampled(ev);
   }
   modules_[static_cast<std::size_t>(module_id)]->Receive(req);
 }
@@ -247,27 +273,72 @@ void ServeRuntime::OnModuleDone(const RequestPtr& req, int module_id, SimTime no
   }
 }
 
-void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now) {
-  LockOrderGuard order(LockRank::kFate);
-  std::lock_guard<std::mutex> lock(FateMutex(*req));
-  if (req->Terminal()) {
-    return;
+void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now,
+                        DropReason reason) {
+  {
+    LockOrderGuard order(LockRank::kFate);
+    std::lock_guard<std::mutex> lock(FateMutex(*req));
+    if (req->Terminal()) {
+      return;
+    }
+    req->fate = RequestFate::kDropped;
+    req->drop_module = module_id;
+    req->finish = now;
+    req->drop_reason = reason;
+    in_flight_.fetch_sub(1, std::memory_order_release);
   }
-  req->fate = RequestFate::kDropped;
-  req->drop_module = module_id;
-  req->finish = now;
-  in_flight_.fetch_sub(1, std::memory_order_release);
+  // Instrumentation outside the fate stripe: counters and trace shards are
+  // lock-free, but keeping the stripe's critical section minimal keeps the
+  // traced and untraced paths contention-identical.
+  if (drop_reason_counters_[static_cast<int>(reason)] != nullptr) {
+    drop_reason_counters_[static_cast<int>(reason)]->Add();
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFate;
+    ev.module = module_id;
+    ev.request_id = req->id;
+    ev.ts = now;
+    ev.arg0 = static_cast<std::int64_t>(RequestFate::kDropped);
+    ev.arg1 = static_cast<std::int64_t>(reason);
+    options_.trace->EmitSampled(ev);
+  }
 }
 
 void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
-  LockOrderGuard order(LockRank::kFate);
-  std::lock_guard<std::mutex> lock(FateMutex(*req));
-  if (req->Terminal()) {
-    return;
+  RequestFate fate;
+  {
+    LockOrderGuard order(LockRank::kFate);
+    std::lock_guard<std::mutex> lock(FateMutex(*req));
+    if (req->Terminal()) {
+      return;
+    }
+    req->finish = now;
+    fate = now <= req->deadline ? RequestFate::kCompleted : RequestFate::kLate;
+    req->fate = fate;
+    if (fate == RequestFate::kLate) {
+      req->drop_reason = DropReason::kSloLate;
+    }
+    in_flight_.fetch_sub(1, std::memory_order_release);
   }
-  req->finish = now;
-  req->fate = now <= req->deadline ? RequestFate::kCompleted : RequestFate::kLate;
-  in_flight_.fetch_sub(1, std::memory_order_release);
+  if (options_.metrics != nullptr) {
+    if (fate == RequestFate::kCompleted) {
+      completed_counter_->Add();
+    } else {
+      drop_reason_counters_[static_cast<int>(DropReason::kSloLate)]->Add();
+    }
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kFate;
+    ev.module = -1;
+    ev.request_id = req->id;
+    ev.ts = now;
+    ev.arg0 = static_cast<std::int64_t>(fate);
+    ev.arg1 = static_cast<std::int64_t>(
+        fate == RequestFate::kLate ? DropReason::kSloLate : DropReason::kNone);
+    options_.trace->EmitSampled(ev);
+  }
 }
 
 void ServeRuntime::ScalingTick(SimTime now) {
@@ -322,6 +393,15 @@ void ServeRuntime::ControlLoop() {
             std::max(0, serve_.max_total_threads - fleet_.TotalProvisioned());
         module.AddWorkers(std::min(event.count, budget), event.at);
       }
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kFleet;
+        ev.module = event.module_id;
+        ev.ts = event.at;
+        ev.arg0 = event.kind == FleetEvent::Kind::kKill ? 0 : 1;
+        ev.arg1 = event.count;
+        options_.trace->Emit(ev);
+      }
     }
     if (next_scale >= 0 && now >= next_scale) {
       ScalingTick(now);
@@ -335,8 +415,35 @@ void ServeRuntime::ControlLoop() {
       }
       // Control lock; publishes a fresh immutable snapshot for the brokers.
       control_.Sync(std::move(states), now);
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kEpochSync;
+        ev.module = -1;
+        ev.ts = now;
+        ev.arg0 = static_cast<std::int64_t>(control_.SnapshotEpoch());
+        options_.trace->Emit(ev);
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetGauge("control.snapshot_epoch")
+            ->Set(static_cast<std::int64_t>(control_.SnapshotEpoch()));
+        // How far behind schedule this sync ran (virtual us): the sampler's
+        // view of control-plane health under load.
+        options_.metrics->GetGauge("control.sync_lag_us")->Set(now - next_sync);
+      }
       next_sync += options_.sync_period;
     }
+  }
+}
+
+void ServeRuntime::SamplerLoop() {
+  SimTime next = options_.metrics_interval;
+  while (!stop_sampler_.load(std::memory_order_relaxed)) {
+    clock_.SleepUntil(next);
+    if (stop_sampler_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    options_.metrics->Sample(clock_.Now());
+    next += options_.metrics_interval;
   }
 }
 
@@ -354,6 +461,10 @@ void ServeRuntime::Shutdown(bool abandon_backlog) {
   }
   broker_ready_.notify_all();
   broker_pool_.Join();
+  // The sampler only reads the registry; stop it before the control thread
+  // so its final sample still sees live gauges (bounded by one clock sleep).
+  stop_sampler_.store(true, std::memory_order_relaxed);
+  sampler_thread_.Join();
   // The control thread next: once it is joined, no scaling tick or fault
   // event can spawn a worker thread while the module groups join.
   stop_control_.store(true, std::memory_order_relaxed);
@@ -394,6 +505,9 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
     }
   }
   control_thread_.Spawn([this] { ControlLoop(); });
+  if (options_.metrics != nullptr && options_.metrics_interval > 0) {
+    sampler_thread_.Spawn([this] { SamplerLoop(); });
+  }
 
   try {
     LoadGenerator generator(&clock_, arrivals, [this](SimTime t) { Inject(t); });
@@ -432,7 +546,13 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
     if (!req->Terminal()) {
       req->fate = RequestFate::kLate;
       req->finish = now;
+      req->drop_reason = DropReason::kDrainAbandoned;
       in_flight_.fetch_sub(1, std::memory_order_release);
+      if (drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)] !=
+          nullptr) {
+        drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)]
+            ->Add();
+      }
     }
   }
 }

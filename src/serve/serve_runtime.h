@@ -76,6 +76,8 @@
 
 namespace pard {
 
+class Counter;  // obs/metrics.h
+
 class ServeRuntime {
  public:
   // `policy` must outlive the runtime. Worker provisioning mirrors
@@ -107,9 +109,15 @@ class ServeRuntime {
 
   // --- Internal transitions (called from module worker threads) -----------
   void OnModuleDone(const RequestPtr& req, int module_id, SimTime now);
-  void Drop(const RequestPtr& req, int module_id, SimTime now);
+  void Drop(const RequestPtr& req, int module_id, SimTime now, DropReason reason);
   // Thread-safe read of req.fate (fates flip on other threads' branches).
   bool IsTerminal(const Request& req) const;
+
+  // Observability (null when disabled). Trace emission goes through the
+  // recorder's per-thread SPSC shards, so any worker/broker thread may emit
+  // without synchronization; see obs/trace_recorder.h.
+  TraceRecorder* trace() { return options_.trace; }
+  MetricsRegistry* metrics() { return options_.metrics; }
 
  private:
   static constexpr std::size_t kFateStripes = 16;
@@ -129,6 +137,11 @@ class ServeRuntime {
   // are never left parked on a condition variable a destructor would then
   // join forever.
   void Shutdown(bool abandon_backlog);
+  // Metrics sampler thread: snapshots the registry every
+  // options_.metrics_interval of virtual time while the run is live. Reads
+  // only lock-free instruments + the registry's leaf mutex, so it can stop
+  // at any point in the shutdown sequence.
+  void SamplerLoop();
   // Admission front-end + merge bookkeeping + enqueue.
   void Deliver(const RequestPtr& req, int module_id, SimTime now);
   void Complete(const RequestPtr& req, SimTime now);
@@ -187,7 +200,15 @@ class ServeRuntime {
 
   std::atomic<bool> stop_control_{false};
   WorkerGroup control_thread_;
+  std::atomic<bool> stop_sampler_{false};
+  WorkerGroup sampler_thread_;
   bool ran_ = false;
+
+  // Pre-resolved instruments (null when options_.metrics is null). Fate
+  // counters are bumped outside the fate stripe — counters are lock-free.
+  Counter* completed_counter_ = nullptr;
+  Counter* drop_reason_counters_[kNumDropReasons] = {};
+  std::vector<Counter*> admitted_counters_;  // per module
 };
 
 }  // namespace pard

@@ -21,6 +21,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "common/time_types.h"
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
+#include "jsonio/json.h"
+#include "obs/drop_reason.h"
 #include "pipeline/apps.h"
 #include "pipeline/backend_profile.h"
 #include "runtime/backend_fleet.h"
@@ -452,6 +457,106 @@ TEST(ServeRuntime, ShardedBrokersWithScalingAndFaultsConserve) {
   EXPECT_EQ(good + dropped, result.analysis->Total());
   // Structural overload (600 req/s bursts into this fleet): load was shed.
   EXPECT_GT(result.analysis->DropRate(), 0.0);
+}
+
+TEST(ServeRuntime, DropReasonsConserveUnderStructuralOverload) {
+  // Observability acceptance, attribution half: under MMPP bursts far beyond
+  // a pinned single-worker fleet, many requests drop — and every one of them
+  // must carry a DropReason. Conservation is exact: the per-reason counts
+  // sum to DroppedCount() and no dropped request is left at kNone, across
+  // every concurrent drop site (admission shedding, broker decisions, purge
+  // sweeps, drain abandonment).
+  ExperimentConfig config = Fig08SmokeConfig("da", "pard");
+  config.duration_s = 2.0;
+  config.runtime.fixed_workers = std::vector<int>(5, 1);
+  ServeOptions serve;
+  serve.speedup = 40.0;
+  serve.arrivals = ServeOptions::Arrivals::kMmpp;
+  serve.mmpp.base_rate = 60.0;
+  serve.mmpp.burst_rate = 800.0;
+  serve.mmpp.mean_base_s = 0.5;
+  serve.mmpp.mean_burst_s = 0.5;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  const RunAnalysis& analysis = *result.analysis;
+  ASSERT_GT(analysis.DroppedCount(), 0u);
+  const std::vector<std::size_t> reasons = analysis.DropReasonCounts();
+  ASSERT_EQ(reasons.size(), static_cast<std::size_t>(kNumDropReasons));
+  EXPECT_EQ(reasons[0], 0u) << "dropped request without attribution";
+  std::size_t sum = 0;
+  for (std::size_t r = 1; r < reasons.size(); ++r) {
+    sum += reasons[r];
+  }
+  EXPECT_EQ(sum, analysis.DroppedCount());
+  EXPECT_EQ(result.drop_reason_counts, reasons);
+  // Requests that never terminated would break both sums; spot-check too.
+  for (const RequestPtr& req : analysis.requests()) {
+    ASSERT_TRUE(req->Terminal());
+    if (req->CountsDropped()) {
+      EXPECT_NE(req->drop_reason, DropReason::kNone);
+    } else {
+      EXPECT_EQ(req->drop_reason, DropReason::kNone);
+    }
+  }
+}
+
+TEST(ServeRuntime, ObsExportWritesLoadableTraceAndMetrics) {
+  // End-to-end --trace-out/--metrics-out through the serving runtime: both
+  // files must parse as JSON, the trace must contain real lifecycle events
+  // (Perfetto loads exactly this shape) and the metrics series must have
+  // sampler rows.
+  ExperimentConfig config = Fig08SmokeConfig("tm", "pard");
+  config.obs.trace_out = testing::TempDir() + "serve_obs_trace.json";
+  config.obs.metrics_out = testing::TempDir() + "serve_obs_metrics.json";
+  config.obs.metrics_interval_s = 0.25;
+  ServeOptions serve;
+  serve.speedup = 25.0;
+  const ExperimentResult result = RunServeExperiment(config, serve);
+  ASSERT_GT(result.analysis->Total(), 0u);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const JsonValue trace = ParseJson(read_file(config.obs.trace_out));
+  const JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_GT(events->AsArray().size(), 10u);
+  bool saw_span = false;
+  bool saw_fate = false;
+  for (const JsonValue& ev : events->AsArray()) {
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr) {
+      continue;
+    }
+    saw_span = saw_span || ph->AsString() == "X";
+    if (const JsonValue* name = ev.Find("name");
+        name != nullptr && name->AsString().rfind("fate:", 0) == 0) {
+      saw_fate = true;
+    }
+  }
+  EXPECT_TRUE(saw_span) << "no exec/queue spans in the exported trace";
+  EXPECT_TRUE(saw_fate) << "no terminal fate events in the exported trace";
+
+  const JsonValue metrics = ParseJson(read_file(config.obs.metrics_out));
+  ASSERT_TRUE(metrics.At("samples").IsArray());
+  EXPECT_GT(metrics.At("samples").AsArray().size(), 0u)
+      << "sampler thread produced no rows";
+  // Every terminal request bumps exactly one fate.* counter. Assert the
+  // conservation sum rather than completions alone — under sanitizer
+  // slowdown a short run can legitimately complete zero requests.
+  const JsonObject& totals = metrics.At("totals").AsObject();
+  ASSERT_TRUE(totals.count("fate.completed"));
+  std::int64_t fates = 0;
+  for (const auto& [name, value] : totals) {
+    if (name.rfind("fate.", 0) == 0) {
+      fates += value.AsInt();
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(fates), result.analysis->Total());
 }
 
 TEST(ServeRuntime, DynamicPathsServeTerminalUnderBursts) {

@@ -139,12 +139,19 @@ int RenderHistory(const std::vector<std::string>& paths, const std::string& repo
       names[name] = true;
     }
   }
+  // Each report column after the first is followed by a per-counter delta
+  // column (Δ% vs the previous report), so a step change is readable in the
+  // artifact without mental division; the final column keeps the
+  // newest/oldest summary ratio.
   std::string table = "# Perf trajectory (cpu time per iteration, ns)\n\n| benchmark |";
-  for (const std::string& label : labels) {
-    table += " " + label + " |";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      table += " Δ% |";
+    }
+    table += " " + labels[i] + " |";
   }
   table += " " + labels.back() + "/" + labels.front() + " |\n|---|";
-  for (std::size_t i = 0; i < labels.size(); ++i) {
+  for (std::size_t i = 0; i < 2 * labels.size() - 1; ++i) {
     table += "---:|";
   }
   table += "---:|\n";
@@ -153,13 +160,28 @@ int RenderHistory(const std::vector<std::string>& paths, const std::string& repo
     table += "| " + name + " |";
     const BenchRow* first = nullptr;
     const BenchRow* last = nullptr;
+    const BenchRow* prev = nullptr;
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const auto it = reports[i].find(name);
       if (it == reports[i].end()) {
+        if (i > 0) {
+          table += " - |";  // Delta column.
+        }
         table += " - |";
+        prev = nullptr;  // A gap breaks the adjacent-delta chain.
         continue;
       }
+      if (i > 0) {
+        if (prev != nullptr && prev->cpu_time_ns > 0.0) {
+          const double delta =
+              100.0 * (it->second.cpu_time_ns / prev->cpu_time_ns - 1.0);
+          table += pard::StrFormat(" %+.1f%% |", delta);
+        } else {
+          table += " - |";
+        }
+      }
       table += pard::StrFormat(" %.1f |", it->second.cpu_time_ns);
+      prev = &it->second;
       if (first == nullptr) {
         first = &it->second;
       }

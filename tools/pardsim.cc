@@ -24,6 +24,7 @@
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
 #include "metrics/report.h"
+#include "obs/drop_reason.h"
 #include "pipeline/apps.h"
 #include "pipeline/backend_profile.h"
 #include "pipeline/pipeline_spec.h"
@@ -86,6 +87,18 @@ pard::FlagSet BuildFlags() {
                "serving mode: broker threads fanning injected requests into the "
                "pipeline (N > 1 admits concurrently through the lock-free control "
                "plane; delivery order across brokers is approximate)");
+  flags.AddString("trace-out", "",
+                  "write a Chrome trace-event JSON of per-request lifecycle spans "
+                  "to this path (load at https://ui.perfetto.dev); empty = tracing off");
+  flags.AddDouble("trace-sample-rate", 1.0,
+                  "fraction of requests traced, [0, 1]; sampling is deterministic "
+                  "per request id, so a sim run replays to an identical trace");
+  flags.AddString("metrics-out", "",
+                  "write live-metrics JSON (counter totals, gauges, histograms and "
+                  "a sampled time series) to this path; empty = metrics off");
+  flags.AddDouble("metrics-interval-s", 1.0,
+                  "metrics sampling period in virtual seconds (--serve mode; the "
+                  "simulator samples at control-plane sync ticks)");
   return flags;
 }
 
@@ -175,9 +188,30 @@ int main(int argc, char** argv) {
     config.custom_spec = std::move(spec);
   }
 
+  config.obs.trace_out = flags.GetString("trace-out");
+  config.obs.trace_sample_rate = flags.GetDouble("trace-sample-rate");
+  if (config.obs.trace_sample_rate < 0.0 || config.obs.trace_sample_rate > 1.0) {
+    std::fprintf(stderr, "--trace-sample-rate must be in [0, 1] (got %g)\n",
+                 config.obs.trace_sample_rate);
+    return 2;
+  }
+  config.obs.metrics_out = flags.GetString("metrics-out");
+  config.obs.metrics_interval_s = flags.GetDouble("metrics-interval-s");
+  if (!(config.obs.metrics_interval_s > 0.0)) {
+    std::fprintf(stderr, "--metrics-interval-s must be > 0 (got %g)\n",
+                 config.obs.metrics_interval_s);
+    return 2;
+  }
+
   const int shards = static_cast<int>(flags.GetInt("shards"));
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1 (got %d)\n", shards);
+    return 2;
+  }
+  if (shards > 1 &&
+      (!config.obs.trace_out.empty() || !config.obs.metrics_out.empty())) {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-out are not supported with --shards > 1\n");
     return 2;
   }
   const std::int64_t jobs_flag = flags.GetInt("jobs");
@@ -270,5 +304,18 @@ int main(int argc, char** argv) {
     std::printf(" M%zu %.1f%%", m + 1, 100.0 * share[m]);
   }
   std::printf("\n");
+  const std::size_t total_dropped = a.DroppedCount();
+  if (total_dropped > 0) {
+    std::printf("drop reasons   (of %zu dropped)\n", total_dropped);
+    for (int r = 0; r < pard::kNumDropReasons; ++r) {
+      const std::size_t count = result.drop_reason_counts[static_cast<std::size_t>(r)];
+      if (count == 0) {
+        continue;  // "none" only prints when attribution leaked (a bug).
+      }
+      std::printf("  %-20s %8zu  (%.1f%%)\n",
+                  pard::DropReasonName(static_cast<pard::DropReason>(r)), count,
+                  100.0 * static_cast<double>(count) / static_cast<double>(total_dropped));
+    }
+  }
   return 0;
 }
