@@ -37,6 +37,8 @@
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "pipeline/apps.h"
+#include "resilience/chaos.h"
+#include "runtime/backend_fleet.h"
 #include "runtime/request.h"
 #include "runtime/request_queue.h"
 #include "runtime/state_board.h"
@@ -439,6 +441,50 @@ void BM_ObsAdmissionTraced(benchmark::State& state) {
   RunObsAdmissionLoop(state, recorder, registry);
 }
 BENCHMARK(BM_ObsAdmissionTraced);
+
+// --- Resilience ------------------------------------------------------------
+
+// Chaos-schedule front end: parse the full grammar and expand a
+// probabilistic entry into its concrete timeline. Runs once per experiment
+// setup, so this guards against accidental quadratic parsing, not a hot
+// path.
+void BM_ChaosScheduleParseExpand(benchmark::State& state) {
+  for (auto _ : state) {
+    const ChaosSchedule schedule = ParseChaosSchedule(
+        "5:1:hang:2, 8:0:slow:3.5:4, 10:stall-sync:3, prob:2:hang:1.5:60");
+    benchmark::DoNotOptimize(ExpandChaosSchedule(schedule, 42));
+  }
+}
+BENCHMARK(BM_ChaosScheduleParseExpand);
+
+// The retry-path tax: a compressed kill-heavy experiment with the
+// deadline-aware retry machinery on, versus BM_EndToEndRun's fault-free
+// config. The watchdog/retry bookkeeping must stay noise next to the
+// experiment itself — the per-request delta is what the gate bounds. The
+// counter reports how many retries actually exercised the path.
+void BM_RetryPathKillHeavy(benchmark::State& state) {
+  ExperimentConfig config;
+  config.app = "tm";
+  config.trace = "tweet";
+  config.policy = "pard";
+  config.duration_s = 2.0;
+  config.base_rate = 250.0;
+  config.seed = 7;
+  config.slo_override = 2 * kUsPerSec;
+  config.runtime.enable_scaling = false;
+  config.runtime.fixed_workers = {2, 2, 2};
+  config.runtime.fleet_events =
+      ParseFaultSchedule("0.5:0:kill:1,0.8:1:kill:1,1.0:1:add:1,1.3:2:kill:1,1.5:0:add:1");
+  config.runtime.resilience.max_retries = 2;
+  std::uint64_t retries = 0;
+  for (auto _ : state) {
+    const ExperimentResult result = RunExperiment(config);
+    retries = result.retries;
+    benchmark::DoNotOptimize(result.analysis->DropRate());
+  }
+  state.counters["retries"] = benchmark::Counter(static_cast<double>(retries));
+}
+BENCHMARK(BM_RetryPathKillHeavy)->Unit(benchmark::kMillisecond);
 
 // --- End to end ------------------------------------------------------------
 

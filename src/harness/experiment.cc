@@ -124,6 +124,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   obs.Export(config);
 
   result.worker_history = pipeline.worker_history();
+  result.retries = pipeline.retries();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }
@@ -174,6 +175,9 @@ ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeO
   obs.Export(config);
 
   result.worker_history = server.worker_history();
+  result.retries = server.retries();
+  result.watchdog_recoveries = server.watchdog_recoveries();
+  result.stale_fallbacks = server.control().StaleFallbacks();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }

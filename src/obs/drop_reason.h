@@ -19,11 +19,16 @@
 //       queue; it was evicted by the purge-expired sweep.
 //   kDrainAbandoned     — the run's drain deadline hit with the request
 //       still in flight (backlog abandoned at shutdown).
-//   kFaultKilled        — infrastructure loss: the worker executing (or
-//       queueing) the request was killed, or no dispatchable worker existed
-//       at delivery time (all cold / draining / failed).
+//   kFaultKilled        — no dispatchable worker existed at delivery time
+//       (all cold / draining / failed), so the request had nowhere to go.
 //   kSloLate            — the request finished execution but after its
 //       deadline (completed-but-late counts as dropped, §5.1).
+//   kWorkerFailure      — in-flight loss: the worker executing (or queueing)
+//       the request was killed or hung, and the request could not be retried
+//       (retries disabled, no surviving worker, or insufficient remaining
+//       deadline budget).
+//   kRetryExhausted     — the request was re-enqueued after worker failures
+//       until it ran out of retry attempts (ResilienceOptions::max_retries).
 #ifndef PARD_OBS_DROP_REASON_H_
 #define PARD_OBS_DROP_REASON_H_
 
@@ -39,9 +44,11 @@ enum class DropReason : std::uint8_t {
   kDrainAbandoned = 4,
   kFaultKilled = 5,
   kSloLate = 6,
+  kWorkerFailure = 7,
+  kRetryExhausted = 8,
 };
 
-inline constexpr int kNumDropReasons = 7;  // Including kNone.
+inline constexpr int kNumDropReasons = 9;  // Including kNone.
 
 // Stable snake_case identifier, used as the metrics/report JSON key and the
 // trace-event argument.
@@ -61,6 +68,10 @@ inline const char* DropReasonName(DropReason reason) {
       return "fault_killed";
     case DropReason::kSloLate:
       return "slo_late";
+    case DropReason::kWorkerFailure:
+      return "worker_failure";
+    case DropReason::kRetryExhausted:
+      return "retry_exhausted";
   }
   return "unknown";
 }

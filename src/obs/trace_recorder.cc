@@ -48,6 +48,22 @@ const char* EventName(const TraceEvent& ev) {
       return "sync_epoch";
     case TraceEventKind::kFleet:
       return ev.arg0 == 0 ? "fleet:kill" : "fleet:add";
+    case TraceEventKind::kRetry:
+      return "retry";
+    case TraceEventKind::kChaos:
+      // Keep in sync with resilience/chaos.h ChaosKind ordering.
+      switch (ev.arg0) {
+        case 0:
+          return "chaos:hang";
+        case 1:
+          return "chaos:slow";
+        case 2:
+          return "chaos:stall_sync";
+        default:
+          return "chaos";
+      }
+    case TraceEventKind::kWatchdog:
+      return "watchdog:kill";
   }
   return "event";
 }

@@ -48,6 +48,9 @@ enum class TraceEventKind : std::uint8_t {
   kFate = 5,       // instant: terminal fate; arg0 = RequestFate, arg1 = DropReason
   kEpochSync = 6,  // instant: control-plane snapshot published; arg0 = epoch
   kFleet = 7,      // instant: fleet event; arg0 = 0 kill / 1 add, arg1 = count
+  kRetry = 8,      // instant: request re-enqueued after worker failure; arg0 = attempt
+  kChaos = 9,      // instant: chaos event applied; arg0 = ChaosKind, arg1 = count|duration
+  kWatchdog = 10,  // instant: watchdog force-failed hung workers; arg0 = count
 };
 
 // POD event record. `ts`/`dur` are virtual-time microseconds (Chrome trace

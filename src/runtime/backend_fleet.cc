@@ -217,37 +217,41 @@ std::vector<FleetTransition> BackendFleet::transitions() const {
 
 std::vector<FleetEvent> ParseFaultSchedule(const std::string& text) {
   std::vector<FleetEvent> events;
+  std::size_t index = 0;
   for (const std::string& part : Split(text, ',')) {
     const std::string entry(Trim(part));
     if (entry.empty()) {
       continue;
     }
+    ++index;
     const std::vector<std::string> fields = Split(entry, ':');
-    PARD_CHECK_MSG(fields.size() == 4, "fault event \"" << entry
-                                                        << "\" is not <at_s>:<module>:<kill|add>:<count>");
+    PARD_CHECK_MSG(fields.size() == 4,
+                   "fault event " << index << " (\"" << entry << "\") has " << fields.size()
+                                  << " fields, expected <at_s>:<module>:<kill|add>:<count>");
     FleetEvent event;
     char* end = nullptr;
     const double at_s = std::strtod(fields[0].c_str(), &end);
     PARD_CHECK_MSG(end != fields[0].c_str() && *end == '\0' && std::isfinite(at_s) && at_s >= 0.0,
-                   "fault event \"" << entry << "\" has an invalid time \"" << fields[0] << "\"");
+                   "fault event " << index << " (\"" << entry << "\"): field 1 (\"" << fields[0]
+                                  << "\") is not a valid non-negative time in seconds");
     event.at = SecToUs(at_s);
     const long module_id = std::strtol(fields[1].c_str(), &end, 10);
     PARD_CHECK_MSG(end != fields[1].c_str() && *end == '\0' && module_id >= 0,
-                   "fault event \"" << entry << "\" has an invalid module \"" << fields[1]
-                                    << "\"");
+                   "fault event " << index << " (\"" << entry << "\"): field 2 (\"" << fields[1]
+                                  << "\") is not a valid module id");
     event.module_id = static_cast<int>(module_id);
     if (fields[2] == "kill") {
       event.kind = FleetEvent::Kind::kKill;
     } else if (fields[2] == "add") {
       event.kind = FleetEvent::Kind::kAdd;
     } else {
-      PARD_CHECK_MSG(false, "fault event \"" << entry << "\" has an unknown kind \"" << fields[2]
-                                             << "\" (expected kill or add)");
+      PARD_CHECK_MSG(false, "fault event " << index << " (\"" << entry << "\"): field 3 (\""
+                                           << fields[2] << "\") is not kill|add");
     }
     const long count = std::strtol(fields[3].c_str(), &end, 10);
     PARD_CHECK_MSG(end != fields[3].c_str() && *end == '\0' && count >= 1 && count <= 4096,
-                   "fault event \"" << entry << "\" has an invalid count \"" << fields[3]
-                                    << "\"");
+                   "fault event " << index << " (\"" << entry << "\"): field 4 (\"" << fields[3]
+                                  << "\") is not a valid count in [1, 4096]");
     event.count = static_cast<int>(count);
     events.push_back(event);
   }

@@ -53,7 +53,11 @@ int ModuleRuntime::ProvisionedWorkers() const { return fleet_->ProvisionedCount(
 double ModuleRuntime::ProvisionedUnits() const { return fleet_->ProvisionedUnits(spec_.id); }
 
 Duration ModuleRuntime::SampleExecDuration(int batch, double exec_scale) {
-  const Duration d = ScaleBatchDuration(profile_.BatchDuration(batch), exec_scale);
+  Duration d = ScaleBatchDuration(profile_.BatchDuration(batch), exec_scale);
+  if (sim_->Now() < slow_until_) {
+    // Chaos slowdown: transient interference scales this batch's execution.
+    d = static_cast<Duration>(static_cast<double>(d) * slow_factor_);
+  }
   if (options_.exec_jitter <= 0.0) {
     return d;
   }
@@ -203,6 +207,61 @@ void ModuleRuntime::AddWorkers(int count) {
   for (int i = 0; i < count; ++i) {
     ProvisionColdWorker();
   }
+}
+
+void ModuleRuntime::HangWorkers(int count, Duration duration) {
+  for (auto& worker : workers_) {
+    if (count <= 0) {
+      break;
+    }
+    if (!worker->Dispatchable()) {
+      continue;
+    }
+    worker->Hang(duration);
+    if (duration > 0) {
+      // Self-clearing hang; weak_ptr so a drained-and-reaped worker no-ops.
+      std::weak_ptr<Worker> weak = worker;
+      sim_->ScheduleAfter(duration, [weak] {
+        if (auto w = weak.lock()) {
+          w->Unhang();
+        }
+      });
+    }
+    --count;
+  }
+}
+
+void ModuleRuntime::SetSlowdown(double factor, SimTime until) {
+  PARD_CHECK(factor > 0.0);
+  slow_factor_ = factor;
+  slow_until_ = until;
+}
+
+void ModuleRuntime::RetryOrDrop(RequestPtr req) {
+  if (req->Terminal()) {
+    return;  // Resolved on another branch; nothing left to rescue.
+  }
+  const SimTime now = sim_->Now();
+  const ResilienceOptions& res = options_.resilience;
+  if (res.max_retries > 0) {
+    if (req->retry_count >= res.max_retries) {
+      OnPolicyDrop(std::move(req), DropReason::kRetryExhausted);
+      return;
+    }
+    // Deadline-aware: re-enqueue only when the remaining budget could still
+    // cover this stage's batch duration.
+    if (req->RemainingBudget(now) > profile_.BatchDuration(batch_size_)) {
+      Worker* worker = ChooseWorker();
+      if (worker != nullptr) {
+        ++req->retry_count;
+        pipeline_->NoteRetry(*req, spec_.id, now);
+        worker->Enqueue(std::move(req));
+        return;
+      }
+      // No surviving dispatchable worker: the failure consumed the request.
+    }
+  }
+  OnPolicyDrop(std::move(req), DropReason::kWorkerFailure);
 }
 
 void ModuleRuntime::FailWorkers(int count) {

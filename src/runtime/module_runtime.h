@@ -50,13 +50,30 @@ class ModuleRuntime {
   // Backwards-compatible integer form.
   void SetTargetWorkers(int target) { SetTargetUnits(static_cast<double>(target)); }
 
-  // Failure injection: kills up to `count` active workers (their queued and
-  // in-flight requests are lost).
+  // Failure injection: kills up to `count` active workers. Their queued and
+  // in-flight requests go through the deadline-aware retry path (RetryOrDrop)
+  // instead of being silently lost.
   void FailWorkers(int count);
 
   // Recovery / explicit scale-up: provisions `count` new workers that join
   // the fleet after their backend profile's cold start.
   void AddWorkers(int count);
+
+  // Chaos injection: hangs up to `count` dispatchable workers for `duration`
+  // (0 = indefinitely; see Worker::Hang). Finite hangs self-clear via a
+  // scheduled Unhang.
+  void HangWorkers(int count, Duration duration);
+  // Chaos injection: scales every sampled exec duration by `factor` until
+  // virtual time `until`. Later calls override earlier ones.
+  void SetSlowdown(double factor, SimTime until);
+
+  // Deadline-aware retry for a failed worker's request: re-enqueue on a
+  // surviving worker (bounded by options.resilience.max_retries and the
+  // remaining deadline budget vs this stage's batch duration), else drop
+  // kRetryExhausted / kWorkerFailure. Mirrors ServeRuntime::RetryOrDrop —
+  // the serve analogue of a direct enqueue is ServeModule::Receive, so both
+  // substrates skip re-admission on the retry path.
+  void RetryOrDrop(RequestPtr req);
 
   int module_id() const { return spec_.id; }
   int batch_size() const { return batch_size_; }
@@ -125,6 +142,11 @@ class ModuleRuntime {
   // Per-second arrival bins for input rate / burstiness (covers the stats
   // window; shared arithmetic with the serving runtime's modules).
   RateMonitor rate_monitor_;
+
+  // Chaos slowdown window (SetSlowdown); inert at the defaults, so no-chaos
+  // runs stay bit-identical.
+  double slow_factor_ = 1.0;
+  SimTime slow_until_ = 0;
 
   // Pre-resolved instruments (null when options_.metrics is null).
   Counter* admitted_counter_ = nullptr;

@@ -8,6 +8,7 @@
 #include "models/registry.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
+#include "resilience/chaos.h"
 #include "runtime/batch_planner.h"
 
 namespace pard {
@@ -52,6 +53,7 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
       drop_reason_counters_[r] = options_.metrics->GetCounter(
           DropCounterName(static_cast<DropReason>(r)));
     }
+    retry_counter_ = options_.metrics->GetCounter("resilience.retries");
   }
   // Periodic control-plane ticks.
   sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
@@ -84,6 +86,44 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
         ev.ts = sim_.Now();
         ev.arg0 = event.kind == FleetEvent::Kind::kKill ? 0 : 1;
         ev.arg1 = event.count;
+        options_.trace->Emit(ev);
+      }
+    });
+  }
+  // Chaos schedule: probabilistic entries are expanded into concrete events
+  // from the run seed up front, so sim and serve apply an identical timeline.
+  PARD_CHECK(options_.resilience.max_retries >= 0);
+  for (const ChaosEvent& event :
+       ExpandChaosSchedule(options_.resilience.chaos, options_.seed)) {
+    if (event.kind != ChaosKind::kStallSync) {
+      PARD_CHECK_MSG(event.module_id >= 0 && event.module_id < spec_.NumModules(),
+                     "chaos event targets module " << event.module_id
+                                                   << " but the pipeline has "
+                                                   << spec_.NumModules() << " modules");
+    }
+    sim_.ScheduleAt(event.at, [this, event] {
+      const SimTime now = sim_.Now();
+      switch (event.kind) {
+        case ChaosKind::kHang:
+          modules_[static_cast<std::size_t>(event.module_id)]->HangWorkers(event.count,
+                                                                           event.duration);
+          break;
+        case ChaosKind::kSlow:
+          modules_[static_cast<std::size_t>(event.module_id)]->SetSlowdown(
+              event.factor, now + event.duration);
+          break;
+        case ChaosKind::kStallSync:
+          stall_until_ = std::max(stall_until_, now + event.duration);
+          break;
+      }
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kChaos;
+        ev.module = event.module_id;
+        ev.ts = now;
+        ev.arg0 = static_cast<std::int64_t>(event.kind);
+        ev.arg1 = event.kind == ChaosKind::kHang ? event.count
+                                                 : static_cast<std::int64_t>(event.duration);
         options_.trace->Emit(ev);
       }
     });
@@ -235,8 +275,32 @@ void PipelineRuntime::Complete(RequestPtr req) {
   }
 }
 
+void PipelineRuntime::NoteRetry(const Request& req, int module_id, SimTime now) {
+  ++retries_;
+  if (retry_counter_ != nullptr) {
+    retry_counter_->Add();
+  }
+  if (options_.trace != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kRetry;
+    ev.module = module_id;
+    ev.request_id = req.id;
+    ev.ts = now;
+    ev.arg0 = req.retry_count;
+    options_.trace->EmitSampled(ev);
+  }
+}
+
 void PipelineRuntime::SyncTick() {
   const SimTime now = sim_.Now();
+  if (now < stall_until_) {
+    // Chaos stall-sync: skip the publish entirely (board and policy keep the
+    // previous epoch's view) but keep the tick alive so syncing resumes.
+    if (now <= last_arrival_ + options_.drain) {
+      sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
+    }
+    return;
+  }
   for (auto& m : modules_) {
     m->Sync(now, &board_);
   }

@@ -8,6 +8,7 @@
 #ifndef PARD_RUNTIME_PIPELINE_RUNTIME_H_
 #define PARD_RUNTIME_PIPELINE_RUNTIME_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -64,6 +65,12 @@ class PipelineRuntime {
   // --- Internal transitions (called by ModuleRuntime/Worker) --------------
   void OnModuleDone(RequestPtr req, int module_id);
   void Drop(RequestPtr req, int module_id, DropReason reason);
+  // Accounting hook for ModuleRuntime::RetryOrDrop: bumps the retry tally,
+  // metric and trace instant. The caller already incremented req.retry_count.
+  void NoteRetry(const Request& req, int module_id, SimTime now);
+
+  // Total successful re-enqueues after worker failures (resilience path).
+  std::uint64_t retries() const { return retries_; }
 
   // Observability (null when disabled via RuntimeOptions).
   TraceRecorder* trace() { return options_.trace; }
@@ -98,7 +105,13 @@ class PipelineRuntime {
   // tallies by outcome/reason, bumped on the single simulator thread.
   Counter* completed_counter_ = nullptr;
   Counter* drop_reason_counters_[kNumDropReasons] = {};
+  Counter* retry_counter_ = nullptr;
   std::int64_t sync_count_ = 0;
+  std::uint64_t retries_ = 0;
+  // Chaos stall-sync window: SyncTick keeps rescheduling but skips the
+  // publish while now < stall_until_, so policies read a stale board exactly
+  // like serve readers see a stale snapshot.
+  SimTime stall_until_ = 0;
 };
 
 }  // namespace pard

@@ -62,6 +62,12 @@ struct Request {
   // kInFlight). Written with `fate` under the same synchronization.
   DropReason drop_reason = DropReason::kNone;
 
+  // Times this request was re-enqueued after a worker failure/hang
+  // (resilience retry path). Written only by the thread that owned the failed
+  // batch; re-delivery through the queue shard's mutex provides the
+  // happens-before edge to the next reader.
+  int retry_count = 0;
+
   // Indexed by module id; unvisited modules keep arrive == -1.
   std::vector<HopRecord> hops;
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/time_types.h"
+#include "resilience/resilience_options.h"
 
 namespace pard {
 
@@ -93,6 +94,10 @@ struct RuntimeOptions {
   // provisions `count` replacement workers that become active after their
   // backend profile's cold start.
   std::vector<FleetEvent> fleet_events;
+
+  // Chaos injection + self-healing (resilience/). All defaults are inert:
+  // empty chaos schedule, retries/watchdog/staleness disabled.
+  ResilienceOptions resilience;
 };
 
 }  // namespace pard

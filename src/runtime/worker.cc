@@ -98,7 +98,7 @@ void Worker::FillFormingBatch() {
 }
 
 void Worker::MaybeLaunch() {
-  if (executing_ || forming_.empty()) {
+  if (executing_ || forming_.empty() || hung_) {
     return;
   }
   if (state_ != State::kActive && state_ != State::kDraining) {
@@ -125,30 +125,63 @@ void Worker::Fail() {
   if (state_ == State::kRetired) {
     return;
   }
+  // Retire FIRST: the retry path below redistributes this worker's requests
+  // through ChooseWorker, which must never re-select the dying worker.
+  state_ = State::kRetired;
+  fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kFailed, sim_->Now());
   const int module_id = module_->module_id();
   // Executing batch is lost mid-flight; its GPU time so far is wasted but
-  // unattributed (the batch never completed).
+  // unattributed (the batch never completed). Every request gets a
+  // deadline-aware second chance on a surviving worker.
   if (executing_) {
     sim_->Cancel(exec_event_);
-    for (RequestPtr& req : executing_batch_) {
-      module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
-    }
-    executing_batch_.clear();
     executing_ = false;
+    std::vector<RequestPtr> lost = std::move(executing_batch_);
+    executing_batch_.clear();
+    for (RequestPtr& req : lost) {
+      module_->RetryOrDrop(std::move(req));
+    }
   }
-  for (RequestPtr& req : forming_) {
-    module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
-  }
+  std::vector<RequestPtr> forming = std::move(forming_);
   forming_.clear();
+  for (RequestPtr& req : forming) {
+    module_->RetryOrDrop(std::move(req));
+  }
   while (!queue_.Empty()) {
     RequestPtr req = queue_.Pop(PopSide::kOldest);
     if (req != nullptr && !req->Terminal()) {
       req->hops[static_cast<std::size_t>(module_id)].batch_entry = sim_->Now();
-      module_->OnPolicyDrop(std::move(req), DropReason::kFaultKilled);
+      module_->RetryOrDrop(std::move(req));
     }
   }
-  state_ = State::kRetired;
-  fleet_->SetState(slot_.module_id, slot_.worker_id, BackendState::kFailed, sim_->Now());
+}
+
+void Worker::Hang(Duration duration) {
+  if (state_ != State::kActive || hung_) {
+    return;
+  }
+  hung_ = true;
+  if (executing_) {
+    sim_->Cancel(exec_event_);
+    if (duration > 0) {
+      // Finite hang: the in-flight batch completes late by the hang window.
+      exec_end_ += duration;
+      exec_event_ = sim_->ScheduleAt(exec_end_, [this] { OnBatchComplete(); });
+    }
+    // Indefinite hang: the batch freezes until Fail() rescues it or the
+    // end-of-run sweep accounts it (the simulator has no watchdog).
+  }
+}
+
+void Worker::Unhang() {
+  if (!hung_) {
+    return;
+  }
+  hung_ = false;
+  if (state_ == State::kActive) {
+    FillFormingBatch();
+    MaybeLaunch();
+  }
 }
 
 void Worker::OnBatchComplete() {

@@ -48,16 +48,27 @@ class Worker {
   int worker_id() const { return slot_.worker_id; }
   const BackendSlot& slot() const { return slot_; }
   State state() const { return state_; }
-  bool Dispatchable() const { return state_ == State::kActive; }
+  bool Dispatchable() const { return state_ == State::kActive && !hung_; }
+  bool hung() const { return hung_; }
   bool Idle() const { return !executing_ && forming_.empty() && queue_.Empty(); }
 
   // Scaling transitions.
   void Activate();                 // Cold start finished.
   void BeginDraining();            // Stop receiving work; retire when empty.
 
-  // Hard failure: the GPU dies. All queued, forming and executing requests
-  // are lost (dropped at this module); the worker retires immediately.
+  // Hard failure: the GPU dies. The worker retires immediately; every
+  // queued, forming and executing request is routed through the module's
+  // deadline-aware retry path (re-enqueued on a surviving worker, or dropped
+  // kWorkerFailure / kRetryExhausted).
   void Fail();
+
+  // Chaos hang: the worker freezes without dying — it stops accepting
+  // dispatch and, if executing, its batch stalls. A finite hang (`duration`
+  // > 0) delays the in-flight batch by the hang window and clears via
+  // Unhang(); an indefinite hang (0) freezes the batch until Fail() or the
+  // end-of-run sweep (the simulator has no watchdog — serve does).
+  void Hang(Duration duration);
+  void Unhang();
 
  private:
   friend class ModuleRuntime;
@@ -76,6 +87,7 @@ class Worker {
   BackendFleet* fleet_;
   BackendSlot slot_;
   State state_ = State::kColdStarting;
+  bool hung_ = false;  // Excluded from dispatch and launch while set.
 
   RequestQueue queue_;
   std::vector<RequestPtr> forming_;

@@ -13,9 +13,11 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
     : policy_(policy),
       board_(board),
       force_locked_(options.force_locked),
+      staleness_budget_(options.staleness_budget),
       snapshot_(std::make_unique<const ControlSnapshot>()) {
   PARD_CHECK(spec != nullptr && policy_ != nullptr && board_ != nullptr);
   PARD_CHECK(options.admission_shards >= 1);
+  PARD_CHECK(options.staleness_budget >= 0);
   policy_->Bind(spec, board_);
   purge_expired_ = policy_->PurgeExpired();
   Rng seeder(options.seed);
@@ -25,8 +27,10 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
     shards_.push_back(std::move(shard));
   }
   // Replace the placeholder published at member construction with a real
-  // snapshot (the policy is bound now, so it can build a view).
-  auto initial = BuildSnapshot();
+  // snapshot (the policy is bound now, so it can build a view). Stamped at
+  // t=0: with a staleness budget the first sync must land within it or the
+  // readers degrade, exactly as they would under a stalled sync thread.
+  auto initial = BuildSnapshot(0);
   has_view_ = initial->view != nullptr;
   snapshot_.Publish(std::move(initial));
 }
@@ -34,9 +38,10 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
 ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board)
     : ControlPlane(spec, policy, board, Options()) {}
 
-std::unique_ptr<const ControlSnapshot> ControlPlane::BuildSnapshot() {
+std::unique_ptr<const ControlSnapshot> ControlPlane::BuildSnapshot(SimTime now) {
   auto snap = std::make_unique<ControlSnapshot>();
   snap->board_version = board_->Version();
+  snap->published_at = now;
   snap->states.reserve(static_cast<std::size_t>(board_->NumModules()));
   for (int id = 0; id < board_->NumModules(); ++id) {
     snap->states.push_back(board_->Get(id));
@@ -45,10 +50,35 @@ std::unique_ptr<const ControlSnapshot> ControlPlane::BuildSnapshot() {
   return snap;
 }
 
+// Graceful degradation: the estimator's decisions are only as good as the
+// snapshot they read. When the sync thread stalls (stall-sync chaos, or a
+// genuinely wedged control plane) the snapshot's states/view describe a fleet
+// that no longer exists, so past the staleness budget the readers stop
+// trusting it and fall back to a conservative static rule keyed only to
+// request-local facts (deadline arithmetic). The rules are deliberately
+// minimal:
+//   ShouldDrop     — drop only requests that provably cannot finish this
+//                    stage by their deadline (batch_start + batch_duration
+//                    past the deadline); never shed speculatively.
+//   AdmitAtModule  — admit anything with remaining deadline budget.
+//   ChoosePopSide  — FIFO (oldest first), the no-information default.
+// Each fallback decision is counted; the decision remains versioned by the
+// stale snapshot it rejected (snap->board_version) for trace attribution.
+bool ControlPlane::Stale(const ControlSnapshot& snap, SimTime now) {
+  if (staleness_budget_ <= 0 || now - snap.published_at <= staleness_budget_) {
+    return false;
+  }
+  stale_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool ControlPlane::ShouldDrop(const AdmissionContext& ctx) {
   if (!force_locked_) {
     auto snap = snapshot_.Read();
     if (snap->view != nullptr) {
+      if (Stale(*snap, ctx.now)) {
+        return ctx.batch_start + ctx.batch_duration > ctx.request->deadline;
+      }
       return snap->view->ShouldDrop(ctx);
     }
   }
@@ -61,6 +91,9 @@ PopSide ControlPlane::ChoosePopSide(int module_id, SimTime now) {
   if (!force_locked_) {
     auto snap = snapshot_.Read();
     if (snap->view != nullptr) {
+      if (Stale(*snap, now)) {
+        return PopSide::kOldest;
+      }
       return snap->view->ChoosePopSide(module_id, now);
     }
   }
@@ -73,6 +106,9 @@ bool ControlPlane::AdmitAtModule(const Request& request, int module_id, SimTime 
   if (!force_locked_) {
     auto snap = snapshot_.Read();
     if (snap->view != nullptr) {
+      if (Stale(*snap, now)) {
+        return request.RemainingBudget(now) > 0;
+      }
       if (!snap->view->NeedsAdmissionRng()) {
         return snap->view->AdmitAtModule(request, module_id, now, nullptr);
       }
@@ -94,7 +130,7 @@ void ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
     board_->Publish(std::move(state));
   }
   policy_->OnSync(now);
-  snapshot_.Publish(BuildSnapshot());
+  snapshot_.Publish(BuildSnapshot(now));
 }
 
 }  // namespace pard

@@ -42,6 +42,7 @@
 #ifndef PARD_SERVE_CONTROL_PLANE_H_
 #define PARD_SERVE_CONTROL_PLANE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,10 @@ namespace pard {
 // of snapshotting).
 struct ControlSnapshot {
   std::uint64_t board_version = 0;
+  // Virtual time at which Sync() published this snapshot (0 for the initial
+  // snapshot). Lock-free readers compare it against the staleness budget to
+  // detect a dead/stalled sync thread.
+  SimTime published_at = 0;
   std::vector<ModuleState> states;
   std::shared_ptr<const PolicyView> view;
 };
@@ -74,6 +79,11 @@ class ControlPlane {
     // policy provides a view — the pre-sharding baseline, kept honest by
     // the bench/micro_overhead.cc admission benchmark.
     bool force_locked = false;
+    // Graceful degradation: when > 0 and the pinned snapshot's published_at
+    // is older than this, broker decisions fall back to a conservative
+    // static rule instead of trusting a stale estimator (see the reader
+    // implementations for the exact rules). 0 disables the check.
+    Duration staleness_budget = 0;
   };
 
   // `policy` and `board` must outlive the control plane. Binds the policy to
@@ -101,6 +111,11 @@ class ControlPlane {
   bool LockFree() const { return !force_locked_ && has_view_; }
   // Snapshot epochs are monotone: 1 at construction, +1 per Sync.
   std::uint64_t SnapshotEpoch() const { return snapshot_.Epoch(); }
+  // Broker decisions answered by the conservative static fallback because
+  // the pinned snapshot exceeded the staleness budget.
+  std::uint64_t StaleFallbacks() const {
+    return stale_fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct alignas(64) AdmissionShard {
@@ -108,9 +123,12 @@ class ControlPlane {
     Rng rng{1};
   };
 
-  // Builds the snapshot for the current board/policy state. Caller holds
-  // mu_ (or is the constructor).
-  std::unique_ptr<const ControlSnapshot> BuildSnapshot();
+  // Builds the snapshot for the current board/policy state, stamped with the
+  // publish time. Caller holds mu_ (or is the constructor).
+  std::unique_ptr<const ControlSnapshot> BuildSnapshot(SimTime now);
+  // True when the staleness budget is enabled and `snap` is too old at
+  // `now`; counts the fallback.
+  bool Stale(const ControlSnapshot& snap, SimTime now);
   AdmissionShard& ShardFor(const Request& request) {
     return *shards_[static_cast<std::size_t>(request.id) % shards_.size()];
   }
@@ -120,7 +138,9 @@ class ControlPlane {
   StateBoard* board_;
   bool purge_expired_ = false;
   bool force_locked_ = false;
+  Duration staleness_budget_ = 0;
   bool has_view_ = false;  // Written once in the constructor, then const.
+  std::atomic<std::uint64_t> stale_fallbacks_{0};
   std::vector<std::unique_ptr<AdmissionShard>> shards_;
   SnapshotCell<ControlSnapshot> snapshot_;
 };

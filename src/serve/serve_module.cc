@@ -1,6 +1,8 @@
 #include "serve/serve_module.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -114,6 +116,76 @@ int ServeModule::FailWorkers(int count, SimTime now) {
   return killed;
 }
 
+int ServeModule::HangWorkers(int count, Duration duration, SimTime now) {
+  const SimTime until =
+      duration > 0 ? now + duration : std::numeric_limits<SimTime>::max();
+  int hung = 0;
+  {
+    LockOrderGuard order(LockRank::kModule);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Oldest active workers first, like FailWorkers.
+    for (auto& entry : roster_) {
+      if (hung >= count) {
+        break;
+      }
+      ServeWorker& w = *entry;
+      if (w.kill.load(std::memory_order_relaxed) ||
+          w.drain.load(std::memory_order_relaxed) ||
+          w.hang_until.load(std::memory_order_relaxed) > now) {
+        continue;
+      }
+      if (fleet_->State(spec_.id, w.slot.worker_id) != BackendState::kActive) {
+        continue;
+      }
+      w.hang_until.store(until, std::memory_order_release);
+      ++hung;
+    }
+  }
+  return hung;
+}
+
+void ServeModule::SetSlowdown(double factor, SimTime until) {
+  PARD_CHECK(factor > 0.0);
+  slow_factor_.store(factor, std::memory_order_relaxed);
+  slow_until_.store(until, std::memory_order_release);
+}
+
+int ServeModule::WatchdogSweep(SimTime now, Duration budget) {
+  int killed = 0;
+  {
+    LockOrderGuard order(LockRank::kModule);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& entry : roster_) {
+      ServeWorker& w = *entry;
+      if (w.kill.load(std::memory_order_relaxed) ||
+          w.drain.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      // Only busy workers owe a heartbeat: an idle worker parked on the
+      // condition variable has nothing in flight and nothing to recover.
+      if (!w.busy.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (now - w.heartbeat.load(std::memory_order_acquire) <= budget) {
+        continue;
+      }
+      if (fleet_->State(spec_.id, w.slot.worker_id) != BackendState::kActive) {
+        continue;
+      }
+      // Hung past the budget: force-fail through the same path as a fault-
+      // schedule kill. The worker observes `kill` and routes its in-flight
+      // batch through the runtime's retry path on its way out.
+      w.kill.store(true, std::memory_order_release);
+      fleet_->SetState(spec_.id, w.slot.worker_id, BackendState::kFailed, now);
+      ++killed;
+    }
+  }
+  if (killed > 0) {
+    work_ready_.notify_all();
+  }
+  return killed;
+}
+
 int ServeModule::SetTargetUnits(double target_units, SimTime now, int max_new_threads) {
   target_units =
       std::clamp(target_units, 1.0, static_cast<double>(options_.max_workers_per_module));
@@ -190,6 +262,7 @@ void ServeModule::Receive(RequestPtr req) {
 }
 
 void ServeModule::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
   {
     LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
@@ -199,6 +272,7 @@ void ServeModule::RequestStop() {
 }
 
 void ServeModule::Abort() {
+  stopping_.store(true, std::memory_order_release);
   {
     LockOrderGuard order(LockRank::kModule);
     std::lock_guard<std::mutex> lock(mu_);
@@ -241,7 +315,10 @@ void ServeModule::FormBatchFromShard(QueueShard& shard, int shard_index,
         queued_.fetch_sub(1, std::memory_order_relaxed);
         ++popped;
         if (!runtime_->IsTerminal(*expired)) {
-          expired->hops[static_cast<std::size_t>(spec_.id)].batch_entry = now;
+          HopRecord& hop = expired->hops[static_cast<std::size_t>(spec_.id)];
+          // Same clamp as the dispatch path below: `now` predates the shard
+          // lock, so it can trail a fresh push's arrive stamp.
+          hop.batch_entry = std::max(now, hop.arrive);
           runtime_->Drop(expired, spec_.id, now, DropReason::kPurgeExpired);
         }
       }
@@ -258,7 +335,10 @@ void ServeModule::FormBatchFromShard(QueueShard& shard, int shard_index,
         continue;  // Dropped on another DAG branch while queued here.
       }
       HopRecord& hop = req->hops[static_cast<std::size_t>(spec_.id)];
-      hop.batch_entry = now;
+      // `now` was read before this shard's lock was taken, so a request
+      // pushed (and arrive-stamped) in that window can carry an arrive a few
+      // virtual microseconds ahead of it; clamp so hop records stay monotone.
+      hop.batch_entry = std::max(now, hop.arrive);
       AdmissionContext ctx;
       ctx.request = req.get();
       ctx.module_id = spec_.id;
@@ -357,6 +437,32 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
     if (batch.empty()) {
       continue;  // Everything expired, was dropped, or a sibling stole it.
     }
+    // Liveness stamp for the watchdog: heartbeat first, then busy (release),
+    // so a watchdog that sees busy == true also sees this batch's heartbeat.
+    w->heartbeat.store(clock.Now(), std::memory_order_relaxed);
+    w->busy.store(true, std::memory_order_release);
+
+    // Chaos hang: stall holding the formed batch, without heartbeating. Ends
+    // when the window passes, the watchdog kills us, or the run stops (a
+    // stopping hung worker executes its batch normally — each worker
+    // finishes at most one in-flight batch at shutdown).
+    if (w->hang_until.load(std::memory_order_acquire) > clock.Now()) {
+      while (w->hang_until.load(std::memory_order_acquire) > clock.Now() &&
+             !w->kill.load(std::memory_order_acquire) &&
+             !stopping_.load(std::memory_order_acquire)) {
+        clock.SleepFor(10 * kUsPerMs);
+      }
+      if (w->kill.load(std::memory_order_acquire)) {
+        // Watchdog (or fault schedule) rescued the batch from the hang.
+        w->busy.store(false, std::memory_order_release);
+        const SimTime now = clock.Now();
+        for (const RequestPtr& req : batch) {
+          runtime_->RetryOrDrop(req, spec_.id, now);
+        }
+        return;
+      }
+    }
+
     // Profiled duration on THIS slot's backend (exec_scale), with the
     // configured jitter from the worker-private stream — no lock needed.
     Duration planned = ScaleBatchDuration(
@@ -364,6 +470,11 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
     if (options_.exec_jitter > 0.0) {
       const double factor = std::max(0.5, w->jitter.Normal(1.0, options_.exec_jitter));
       planned = static_cast<Duration>(static_cast<double>(planned) * factor);
+    }
+    // Chaos slowdown: transient interference scales this batch's execution.
+    if (clock.Now() < slow_until_.load(std::memory_order_acquire)) {
+      planned = static_cast<Duration>(static_cast<double>(planned) *
+                                      slow_factor_.load(std::memory_order_relaxed));
     }
 
     // "Execute" on the GPU: occupy this worker for the profiled duration in
@@ -374,13 +485,17 @@ void ServeModule::WorkerLoop(ServeWorker* w) {
     const SimTime exec_end = clock.Now();
 
     if (w->kill.load(std::memory_order_acquire)) {
-      // The GPU died mid-batch: the executing batch is lost, mirroring the
-      // simulator's Worker::Fail accounting.
+      // The GPU died mid-batch: the executing batch is lost from this worker,
+      // but each request gets a deadline-aware second chance (mirroring the
+      // simulator's Worker::Fail accounting).
+      w->busy.store(false, std::memory_order_release);
       for (const RequestPtr& req : batch) {
-        runtime_->Drop(req, spec_.id, exec_end, DropReason::kFaultKilled);
+        runtime_->RetryOrDrop(req, spec_.id, exec_end);
       }
       return;
     }
+    w->heartbeat.store(exec_end, std::memory_order_relaxed);
+    w->busy.store(false, std::memory_order_release);
 
     if (executed_counter_ != nullptr) {
       executed_counter_->Add(static_cast<std::int64_t>(batch.size()));

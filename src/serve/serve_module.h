@@ -114,9 +114,24 @@ class ServeModule {
   // the fleet-wide thread cap).
   int AddWorkers(int count, SimTime now);
   // Fault injection: kills up to `count` active workers. A killed worker's
-  // in-flight batch is dropped at this module; the thread exits. Returns
-  // the number killed.
+  // in-flight batch is routed through the runtime's deadline-aware retry
+  // path (dropped kWorkerFailure/kRetryExhausted when unretryable); the
+  // thread exits. Returns the number killed.
   int FailWorkers(int count, SimTime now);
+  // Chaos injection: hangs up to `count` active workers. A hung worker holds
+  // its in-flight batch and stops heartbeating; with duration == 0 it hangs
+  // until the watchdog force-fails it (or shutdown). Takes effect at the
+  // worker's next batch boundary — an idle hung worker is indistinguishable
+  // from a slow one until work arrives. Returns the number hung.
+  int HangWorkers(int count, Duration duration, SimTime now);
+  // Chaos injection: scales every batch execution by `factor` (> 1 = slower)
+  // until virtual time `until`. Later calls override earlier ones.
+  void SetSlowdown(double factor, SimTime until);
+  // Watchdog (control thread): force-fails every busy worker whose heartbeat
+  // is older than `budget` through the BackendFleet fail path, exactly like
+  // FailWorkers. Returns the number killed (the caller provisions
+  // replacements).
+  int WatchdogSweep(SimTime now, Duration budget);
   // Adjust the live fleet toward `target_units` of capacity (baseline-worker
   // units), spawning at most `max_new_threads` new threads; drains when
   // above target. Returns threads added.
@@ -157,6 +172,16 @@ class ServeModule {
     Rng jitter;       // Owning thread only.
     std::atomic<bool> kill{false};
     std::atomic<bool> drain{false};
+    // Liveness contract with the watchdog: the owning thread stamps
+    // `heartbeat` then sets `busy` at each batch start (release), and clears
+    // `busy` at each batch end — so the watchdog (acquire) only ever judges
+    // a fresh heartbeat. A hung worker keeps busy == true with a stale
+    // heartbeat, which is exactly the watchdog's trigger.
+    std::atomic<SimTime> heartbeat{0};
+    std::atomic<bool> busy{false};
+    // Chaos hang window: the worker stalls (holding its formed batch, not
+    // heartbeating) while Now() < hang_until. INT64_MAX = hang forever.
+    std::atomic<SimTime> hang_until{0};
   };
 
   // One slice of the module's queue + monitoring state.
@@ -210,6 +235,15 @@ class ServeModule {
   std::mutex mu_;  // LockRank::kModule — roster + sleep/wake only.
   std::condition_variable work_ready_;
   bool stop_ = false;
+  // Lock-free mirror of stop_, polled by hung workers: an indefinitely hung
+  // worker never reaches the predicate wait, so shutdown must be visible
+  // without taking mu_. On stop a hung worker abandons the hang and executes
+  // its in-flight batch normally (each worker finishes at most one batch).
+  std::atomic<bool> stopping_{false};
+  // Chaos slowdown window (SetSlowdown): factor is published before the
+  // `until` release store; workers pair it with an acquire load.
+  std::atomic<double> slow_factor_{1.0};
+  std::atomic<SimTime> slow_until_{0};
   std::vector<std::unique_ptr<ServeWorker>> roster_;  // Guarded by mu_.
   int spawned_ = 0;  // Control thread only; assigns home shards round-robin.
 

@@ -49,6 +49,7 @@ std::vector<int> CapTotalWorkers(std::vector<int> plan, int cap) {
 ControlPlane::Options MakeControlOptions(const RuntimeOptions& options) {
   ControlPlane::Options control;
   control.seed = options.seed;
+  control.staleness_budget = options.resilience.staleness_budget;
   return control;
 }
 
@@ -92,6 +93,17 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
   }
   std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
                    [](const FleetEvent& a, const FleetEvent& b) { return a.at < b.at; });
+  // The chaos schedule, expanded deterministically from the run seed (so a
+  // probabilistic schedule injects the same concrete events the simulator
+  // would) and validated like the fault schedule.
+  PARD_CHECK(options_.resilience.max_retries >= 0);
+  PARD_CHECK(options_.resilience.hang_budget >= 0);
+  chaos_schedule_ = ExpandChaosSchedule(options_.resilience.chaos, options_.seed);
+  for (const ChaosEvent& event : chaos_schedule_) {
+    PARD_CHECK_MSG(event.kind == ChaosKind::kStallSync ||
+                       (event.module_id >= 0 && event.module_id < spec_.NumModules()),
+                   "chaos event targets unknown module " << event.module_id);
+  }
   for (const ModuleSpec& m : spec_.modules()) {
     const ModelProfile& profile = ProfileRegistry::Get(m.model);
     planned_batch_duration_.push_back(
@@ -108,6 +120,8 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
       drop_reason_counters_[r] = options_.metrics->GetCounter(
           std::string("fate.dropped.") + DropReasonName(static_cast<DropReason>(r)));
     }
+    retry_counter_ = options_.metrics->GetCounter("resilience.retries");
+    watchdog_counter_ = options_.metrics->GetCounter("resilience.watchdog_kills");
     for (const ModuleSpec& m : spec_.modules()) {
       admitted_counters_.push_back(options_.metrics->GetCounter(
           "module.m" + std::to_string(m.id) + ".admitted"));
@@ -305,6 +319,45 @@ void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now,
   }
 }
 
+void ServeRuntime::RetryOrDrop(const RequestPtr& req, int module_id, SimTime now) {
+  if (IsTerminal(*req)) {
+    return;  // Resolved on another branch; nothing left to rescue.
+  }
+  const ResilienceOptions& res = options_.resilience;
+  if (res.max_retries > 0) {
+    if (req->retry_count >= res.max_retries) {
+      Drop(req, module_id, now, DropReason::kRetryExhausted);
+      return;
+    }
+    // Deadline-aware: re-enqueue only when the remaining budget could still
+    // cover this stage's planned batch duration — a request that cannot
+    // finish even if picked up immediately is dead capacity.
+    if (req->RemainingBudget(now) >
+        planned_batch_duration_[static_cast<std::size_t>(module_id)]) {
+      ++req->retry_count;  // Single writer: the thread that owned the batch.
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (retry_counter_ != nullptr) {
+        retry_counter_->Add();
+      }
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kRetry;
+        ev.module = module_id;
+        ev.request_id = req->id;
+        ev.ts = now;
+        ev.arg0 = req->retry_count;
+        options_.trace->EmitSampled(ev);
+      }
+      // Straight back into the module's queue shards: admission already
+      // passed at delivery, and re-running NoteOffered/merge bookkeeping
+      // would double-count this request.
+      modules_[static_cast<std::size_t>(module_id)]->Receive(req);
+      return;
+    }
+  }
+  Drop(req, module_id, now, DropReason::kWorkerFailure);
+}
+
 void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
   RequestFate fate;
   {
@@ -366,6 +419,18 @@ void ServeRuntime::ControlLoop() {
   SimTime next_sync = options_.sync_period;
   SimTime next_scale = options_.enable_scaling ? options_.scaling_epoch : -1;
   std::size_t next_fault = 0;
+  std::size_t next_chaos = 0;
+  // Watchdog cadence: a fraction of the hang budget, so a hang is detected
+  // within budget + one sweep period (floored to keep the control thread
+  // from spinning under a tiny budget).
+  const Duration hang_budget = options_.resilience.hang_budget;
+  const Duration watchdog_period =
+      hang_budget > 0 ? std::max<Duration>(hang_budget / 4, 10 * kUsPerMs) : 0;
+  SimTime next_watchdog = hang_budget > 0 ? watchdog_period : -1;
+  // stall-sync chaos: sync epochs falling inside the stall window are
+  // skipped, so the published snapshot ages exactly as a wedged sync thread
+  // would leave it.
+  SimTime sync_stalled_until = 0;
   while (!stop_control_.load(std::memory_order_relaxed)) {
     SimTime wake = next_sync;
     if (next_scale >= 0) {
@@ -373,6 +438,12 @@ void ServeRuntime::ControlLoop() {
     }
     if (next_fault < fault_schedule_.size()) {
       wake = std::min(wake, fault_schedule_[next_fault].at);
+    }
+    if (next_chaos < chaos_schedule_.size()) {
+      wake = std::min(wake, chaos_schedule_[next_chaos].at);
+    }
+    if (next_watchdog >= 0) {
+      wake = std::min(wake, next_watchdog);
     }
     clock_.SleepUntil(wake);
     if (stop_control_.load(std::memory_order_relaxed)) {
@@ -403,11 +474,70 @@ void ServeRuntime::ControlLoop() {
         options_.trace->Emit(ev);
       }
     }
+    // Chaos schedule: hang/slow land on the target module; stall-sync arms
+    // the sync-skip window below.
+    while (next_chaos < chaos_schedule_.size() && chaos_schedule_[next_chaos].at <= now) {
+      const ChaosEvent& event = chaos_schedule_[next_chaos++];
+      switch (event.kind) {
+        case ChaosKind::kHang:
+          modules_[static_cast<std::size_t>(event.module_id)]->HangWorkers(
+              event.count, event.duration, now);
+          break;
+        case ChaosKind::kSlow:
+          modules_[static_cast<std::size_t>(event.module_id)]->SetSlowdown(
+              event.factor, event.at + event.duration);
+          break;
+        case ChaosKind::kStallSync:
+          sync_stalled_until = std::max(sync_stalled_until, event.at + event.duration);
+          break;
+      }
+      if (options_.trace != nullptr) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kChaos;
+        ev.module = event.module_id;
+        ev.ts = event.at;
+        ev.arg0 = static_cast<std::int64_t>(event.kind);
+        ev.arg1 = event.kind == ChaosKind::kHang ? event.count
+                                                 : static_cast<std::int64_t>(event.duration);
+        options_.trace->Emit(ev);
+      }
+    }
+    // Watchdog: force-fail busy workers with stale heartbeats and provision
+    // replacements from the remaining thread budget.
+    if (next_watchdog >= 0 && now >= next_watchdog) {
+      for (auto& module : modules_) {
+        const int killed = module->WatchdogSweep(now, hang_budget);
+        if (killed == 0) {
+          continue;
+        }
+        watchdog_kills_.fetch_add(static_cast<std::uint64_t>(killed),
+                                  std::memory_order_relaxed);
+        if (watchdog_counter_ != nullptr) {
+          watchdog_counter_->Add(killed);
+        }
+        const int budget =
+            std::max(0, serve_.max_total_threads - fleet_.TotalProvisioned());
+        module->AddWorkers(std::min(killed, budget), now);
+        if (options_.trace != nullptr) {
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kWatchdog;
+          ev.module = module->module_id();
+          ev.ts = now;
+          ev.arg0 = killed;
+          options_.trace->Emit(ev);
+        }
+      }
+      next_watchdog = now + watchdog_period;
+    }
     if (next_scale >= 0 && now >= next_scale) {
       ScalingTick(now);
       next_scale += options_.scaling_epoch;
     }
-    if (now >= next_sync) {
+    if (now >= next_sync && now < sync_stalled_until) {
+      // stall-sync chaos: skip this epoch; the snapshot published before the
+      // stall keeps serving readers (and aging toward the staleness budget).
+      next_sync += options_.sync_period;
+    } else if (now >= next_sync) {
       std::vector<ModuleState> states;
       states.reserve(modules_.size());
       for (auto& module : modules_) {
@@ -429,6 +559,8 @@ void ServeRuntime::ControlLoop() {
         // How far behind schedule this sync ran (virtual us): the sampler's
         // view of control-plane health under load.
         options_.metrics->GetGauge("control.sync_lag_us")->Set(now - next_sync);
+        options_.metrics->GetGauge("resilience.stale_fallbacks")
+            ->Set(static_cast<std::int64_t>(control_.StaleFallbacks()));
       }
       next_sync += options_.sync_period;
     }

@@ -65,6 +65,7 @@
 #include "exec/thread_pool.h"
 #include "pipeline/pipeline_spec.h"
 #include "runtime/backend_fleet.h"
+#include "resilience/chaos.h"
 #include "runtime/drop_policy.h"
 #include "runtime/request.h"
 #include "runtime/runtime_options.h"
@@ -110,6 +111,13 @@ class ServeRuntime {
   // --- Internal transitions (called from module worker threads) -----------
   void OnModuleDone(const RequestPtr& req, int module_id, SimTime now);
   void Drop(const RequestPtr& req, int module_id, SimTime now, DropReason reason);
+  // Deadline-aware retry for a killed/hung worker's in-flight batch: the
+  // request is re-enqueued at `module_id` (bounded by
+  // options.resilience.max_retries, and only while its remaining deadline
+  // budget still covers the stage's planned batch duration); otherwise it
+  // drops as kRetryExhausted / kWorkerFailure. Called from the dying worker
+  // thread, which owns the batch — retry_count needs no lock.
+  void RetryOrDrop(const RequestPtr& req, int module_id, SimTime now);
   // Thread-safe read of req.fate (fates flip on other threads' branches).
   bool IsTerminal(const Request& req) const;
 
@@ -118,6 +126,16 @@ class ServeRuntime {
   // without synchronization; see obs/trace_recorder.h.
   TraceRecorder* trace() { return options_.trace; }
   MetricsRegistry* metrics() { return options_.metrics; }
+
+  // Resilience counters (valid while running and after RunTrace returns).
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  // Hung workers the watchdog force-failed (each one also provisions a
+  // replacement, thread budget permitting).
+  std::uint64_t watchdog_recoveries() const {
+    return watchdog_kills_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr std::size_t kFateStripes = 16;
@@ -170,6 +188,9 @@ class ServeRuntime {
   // Merged options_.failures + options_.fleet_events, sorted by time;
   // applied from the control thread.
   std::vector<FleetEvent> fault_schedule_;
+  // Expanded chaos schedule (probabilistic templates already concretized),
+  // sorted by time; applied from the control thread.
+  std::vector<ChaosEvent> chaos_schedule_;
   // Per-module d(batch) at the planned batch size, cached at construction so
   // ingress admission never touches the profile registry from worker threads.
   std::vector<Duration> planned_batch_duration_;
@@ -204,10 +225,17 @@ class ServeRuntime {
   WorkerGroup sampler_thread_;
   bool ran_ = false;
 
+  // Resilience accounting: bumped from worker threads (retries) and the
+  // control thread (watchdog kills); read by getters and the text summary.
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> watchdog_kills_{0};
+
   // Pre-resolved instruments (null when options_.metrics is null). Fate
   // counters are bumped outside the fate stripe — counters are lock-free.
   Counter* completed_counter_ = nullptr;
   Counter* drop_reason_counters_[kNumDropReasons] = {};
+  Counter* retry_counter_ = nullptr;
+  Counter* watchdog_counter_ = nullptr;
   std::vector<Counter*> admitted_counters_;  // per module
 };
 

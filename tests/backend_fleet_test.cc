@@ -138,6 +138,43 @@ TEST(FaultSchedule, RejectsMalformedEntries) {
   EXPECT_THROW(ParseFaultSchedule(""), CheckError);                // No events.
 }
 
+// Errors must say WHICH event and WHICH field went wrong, quoting the bad
+// token — a 40-event schedule with one typo is otherwise undebuggable.
+TEST(FaultSchedule, ErrorsNameTheBadTokenAndPosition) {
+  const auto message_of = [](const char* text) -> std::string {
+    try {
+      ParseFaultSchedule(text);
+    } catch (const CheckError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    const std::string msg = message_of("0:0:kill:1, x:1:kill:1");
+    EXPECT_NE(msg.find("fault event 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("field 1 (\"x\")"), std::string::npos) << msg;
+  }
+  {
+    const std::string msg = message_of("60:zap:kill:1");
+    EXPECT_NE(msg.find("fault event 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("field 2 (\"zap\")"), std::string::npos) << msg;
+  }
+  {
+    const std::string msg = message_of("60:1:explode:1");
+    EXPECT_NE(msg.find("field 3 (\"explode\")"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kill|add"), std::string::npos) << msg;
+  }
+  {
+    const std::string msg = message_of("60:1:kill:9999");
+    EXPECT_NE(msg.find("field 4 (\"9999\")"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1, 4096]"), std::string::npos) << msg;
+  }
+  {
+    const std::string msg = message_of("60:1:kill");
+    EXPECT_NE(msg.find("3 fields"), std::string::npos) << msg;
+  }
+}
+
 TEST(EffectiveDuration, StretchesByMeanSpeedWithExactBaselineGuard) {
   ModuleState state;
   state.batch_duration = 10000;

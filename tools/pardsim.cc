@@ -23,11 +23,13 @@
 #include "core/latency_estimator.h"
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
+#include "jsonio/json.h"
 #include "metrics/report.h"
 #include "obs/drop_reason.h"
 #include "pipeline/apps.h"
 #include "pipeline/backend_profile.h"
 #include "pipeline/pipeline_spec.h"
+#include "resilience/chaos.h"
 #include "runtime/backend_fleet.h"
 
 namespace {
@@ -71,6 +73,25 @@ pard::FlagSet BuildFlags() {
                   "deterministic fleet disturbances: comma-separated "
                   "<at_s>:<module>:<kill|add>:<count> events (e.g. "
                   "60:1:kill:2,80:1:add:2), honored by both substrates");
+  flags.AddString("chaos-schedule", "",
+                  "chaos injections: comma-separated "
+                  "<at_s>:<module>:hang:<count>[:<dur_s>] | "
+                  "<at_s>:<module>:slow:<factor>:<dur_s> | "
+                  "<at_s>:stall-sync:<dur_s> | "
+                  "prob:<module>:hang:<rate_per_s>:<until_s> events; probabilistic "
+                  "entries expand deterministically from --seed, honored by both "
+                  "substrates");
+  flags.AddInt("max-retries", 0,
+               "deadline-aware retry budget for requests lost to worker failures "
+               "(0 = legacy behavior: in-flight work on a killed worker is dropped)");
+  flags.AddDouble("hang-budget-s", 0.0,
+                  "serving mode: watchdog hang budget in virtual seconds; a busy "
+                  "worker whose heartbeat is older than this is force-failed and "
+                  "replaced (0 = watchdog off)");
+  flags.AddDouble("staleness-budget-s", 0.0,
+                  "serving mode: control-snapshot staleness budget in virtual "
+                  "seconds; readers of an older snapshot fall back to conservative "
+                  "static drop rules (0 = never degrade)");
   flags.AddBool("dynamic-paths", false, "requests take one branch per fork (dynamic DAG)");
   flags.AddBool("json", false, "emit a full JSON report instead of text");
   flags.AddBool("serve", false,
@@ -144,6 +165,35 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!flags.GetString("chaos-schedule").empty()) {
+    try {
+      config.runtime.resilience.chaos =
+          pard::ParseChaosSchedule(flags.GetString("chaos-schedule"));
+    } catch (const pard::CheckError& e) {
+      std::fprintf(stderr, "--chaos-schedule: %s\n", e.what());
+      return 2;
+    }
+  }
+  const std::int64_t max_retries = flags.GetInt("max-retries");
+  if (max_retries < 0 || max_retries > 1000) {
+    std::fprintf(stderr, "--max-retries must be in [0, 1000] (got %lld)\n",
+                 static_cast<long long>(max_retries));
+    return 2;
+  }
+  config.runtime.resilience.max_retries = static_cast<int>(max_retries);
+  if (flags.GetDouble("hang-budget-s") < 0.0) {
+    std::fprintf(stderr, "--hang-budget-s must be >= 0 (got %g)\n",
+                 flags.GetDouble("hang-budget-s"));
+    return 2;
+  }
+  config.runtime.resilience.hang_budget = pard::SecToUs(flags.GetDouble("hang-budget-s"));
+  if (flags.GetDouble("staleness-budget-s") < 0.0) {
+    std::fprintf(stderr, "--staleness-budget-s must be >= 0 (got %g)\n",
+                 flags.GetDouble("staleness-budget-s"));
+    return 2;
+  }
+  config.runtime.resilience.staleness_budget =
+      pard::SecToUs(flags.GetDouble("staleness-budget-s"));
   if (flags.GetDouble("slo-ms") > 0.0) {
     config.slo_override = pard::MsToUs(flags.GetDouble("slo-ms"));
   }
@@ -275,8 +325,22 @@ int main(int argc, char** argv) {
   }
   const pard::RunAnalysis& a = *result.analysis;
 
+  const bool resilience_on = !config.runtime.resilience.chaos.empty() ||
+                             config.runtime.resilience.max_retries > 0 ||
+                             config.runtime.resilience.hang_budget > 0 ||
+                             config.runtime.resilience.staleness_budget > 0;
+
   if (flags.GetBool("json")) {
-    std::printf("%s\n", pard::BuildRunReport(a).Dump(2).c_str());
+    pard::JsonValue report = pard::BuildRunReport(a);
+    if (resilience_on) {
+      pard::JsonObject resilience;
+      resilience["retries"] = static_cast<std::int64_t>(result.retries);
+      resilience["watchdog_recoveries"] =
+          static_cast<std::int64_t>(result.watchdog_recoveries);
+      resilience["stale_fallbacks"] = static_cast<std::int64_t>(result.stale_fallbacks);
+      report.AsObject()["resilience"] = std::move(resilience);
+    }
+    std::printf("%s\n", report.Dump(2).c_str());
     return 0;
   }
 
@@ -294,6 +358,12 @@ int main(int argc, char** argv) {
                 flags.GetString("arrivals").c_str(), serve.speedup);
   }
   std::printf("\n");
+  if (resilience_on) {
+    std::printf("resilience     retries %llu, watchdog recoveries %llu, stale fallbacks %llu\n",
+                static_cast<unsigned long long>(result.retries),
+                static_cast<unsigned long long>(result.watchdog_recoveries),
+                static_cast<unsigned long long>(result.stale_fallbacks));
+  }
   std::printf("goodput        %10.1f req/s  (normalized %.3f)\n", a.MeanGoodput(),
               a.NormalizedGoodput());
   std::printf("drop rate      %10.2f %%\n", 100.0 * a.DropRate());
