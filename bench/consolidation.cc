@@ -1,0 +1,131 @@
+// Multi-tenant consolidation: N tenants on one shared fleet vs N dedicated
+// per-tenant fleets.
+//
+// The economic argument for tenancy (GoodServe's regime, see PAPERS.md): a
+// shared fleet pools burst headroom and amortizes per-module worker
+// quantization, so it clears MORE weighted goodput PER COST-UNIT than
+// carving the same traffic into isolated per-tenant deployments — while the
+// governor's admit floors keep any one tenant from being starved to pay for
+// it. This bench runs both deployments on the identical arrival process and
+// prints the comparison the PR charter gates on:
+//
+//   * shared weighted goodput/cost  >  dedicated weighted goodput/cost
+//   * every shared-fleet tenant's ingress admit rate >= its admit_floor
+//
+// Both runs are discrete-event simulations, so the numbers are
+// bit-deterministic; the PASS/FAIL verdict on the last line backs the
+// smoke_bench_consolidation ctest entry.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "metrics/analysis.h"
+#include "obs/drop_reason.h"
+#include "pipeline/tenant_spec.h"
+
+namespace pard {
+namespace bench {
+namespace {
+
+struct DeploymentResult {
+  double weighted_good = 0.0;
+  double cost = 0.0;
+  double ValuePerCost() const { return cost > 0.0 ? weighted_good / cost : 0.0; }
+};
+
+int Run() {
+  Title("Multi-tenant consolidation: shared fleet vs dedicated fleets",
+        "cost-aware serving extension (PR 9); cf. GoodServe-style SLO tiers");
+  const double duration_s = StdDuration();
+  const double base_rate = StdBaseRate();
+  WorkloadHeader(duration_s, base_rate, 1);
+
+  const std::vector<TenantSpec> catalog = MakeReferenceTenantCatalog();
+
+  // Shared: every tenant rides one fleet; the governor arbitrates ingress.
+  ExperimentConfig shared_config = StdConfig("lv", "tweet", "pard");
+  shared_config.runtime.tenants = catalog;
+  const ExperimentResult shared = RunExperiment(shared_config);
+  DeploymentResult shared_dep;
+  shared_dep.weighted_good = shared.analysis->WeightedGoodCount();
+  shared_dep.cost = shared.fleet_cost;
+
+  // Dedicated: each tenant gets its own isolated fleet provisioned for its
+  // own slice of the traffic (base rate x share), same trace shape and SLO
+  // class. Weighted good and cost sum across the N deployments.
+  DeploymentResult dedicated_dep;
+  std::vector<DeploymentResult> per_dedicated;
+  for (const TenantSpec& tenant : catalog) {
+    ExperimentConfig config = StdConfig("lv", "tweet", "pard");
+    config.base_rate = base_rate * tenant.share;
+    TenantSpec solo = tenant;
+    solo.share = 1.0;       // The whole (smaller) stream is this tenant.
+    solo.admit_floor = 0.0; // No cross-tenant arbitration to bound.
+    config.runtime.tenants = {solo};
+    const ExperimentResult result = RunExperiment(config);
+    DeploymentResult dep;
+    dep.weighted_good = result.analysis->WeightedGoodCount();
+    dep.cost = result.fleet_cost;
+    per_dedicated.push_back(dep);
+    dedicated_dep.weighted_good += dep.weighted_good;
+    dedicated_dep.cost += dep.cost;
+  }
+
+  Section("weighted goodput per cost-unit");
+  std::printf("%-24s %14s %12s %12s\n", "deployment", "weighted good", "cost",
+              "good/cost");
+  std::printf("%-24s %14.1f %12.1f %12.4f\n", "shared fleet",
+              shared_dep.weighted_good, shared_dep.cost, shared_dep.ValuePerCost());
+  std::printf("%-24s %14.1f %12.1f %12.4f\n", "dedicated fleets (sum)",
+              dedicated_dep.weighted_good, dedicated_dep.cost,
+              dedicated_dep.ValuePerCost());
+  for (std::size_t t = 0; t < catalog.size(); ++t) {
+    std::printf("  dedicated:%-13s %14.1f %12.1f %12.4f\n",
+                catalog[t].name.c_str(), per_dedicated[t].weighted_good,
+                per_dedicated[t].cost, per_dedicated[t].ValuePerCost());
+  }
+
+  Section("shared-fleet fairness (admit floors)");
+  const std::vector<TenantBreakdown> tenants = shared.analysis->PerTenant();
+  bool floors_held = tenants.size() == catalog.size();
+  std::printf("%-12s %8s %8s %10s %8s\n", "tenant", "total", "shed", "admit",
+              "floor");
+  for (std::size_t t = 0; t < tenants.size() && t < catalog.size(); ++t) {
+    const TenantBreakdown& b = tenants[t];
+    const std::size_t shed =
+        b.drop_reasons.empty()
+            ? 0
+            : b.drop_reasons[static_cast<std::size_t>(DropReason::kTenantShed)];
+    const double admit =
+        b.total == 0 ? 1.0
+                     : 1.0 - static_cast<double>(shed) / static_cast<double>(b.total);
+    // 0.05 of slack covers hash quantization on a finite request sample.
+    const bool held = admit >= catalog[t].admit_floor - 0.05;
+    floors_held = floors_held && held;
+    std::printf("%-12s %8zu %8zu %9.1f%% %7.0f%%%s\n", catalog[t].name.c_str(),
+                b.total, shed, Pct(admit), Pct(catalog[t].admit_floor),
+                held ? "" : "  VIOLATED");
+  }
+
+  const bool consolidation_wins =
+      shared_dep.ValuePerCost() > dedicated_dep.ValuePerCost();
+  std::printf("\nconsolidation advantage: %.4f vs %.4f good/cost (%+.1f%%)\n",
+              shared_dep.ValuePerCost(), dedicated_dep.ValuePerCost(),
+              dedicated_dep.ValuePerCost() > 0.0
+                  ? Pct(shared_dep.ValuePerCost() / dedicated_dep.ValuePerCost() - 1.0)
+                  : 0.0);
+  if (consolidation_wins && floors_held) {
+    std::printf("RESULT: PASS (shared fleet wins goodput/cost, floors held)\n");
+    return 0;
+  }
+  std::printf("RESULT: FAIL (%s%s)\n",
+              consolidation_wins ? "" : "shared fleet lost on goodput/cost; ",
+              floors_held ? "" : "an admit floor was violated");
+  return 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pard
+
+int main() { return pard::bench::Run(); }

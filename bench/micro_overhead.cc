@@ -32,6 +32,8 @@
 #include "common/rng.h"
 #include "core/latency_estimator.h"
 #include "core/pard_policy.h"
+#include "core/tenant_governor.h"
+#include "pipeline/tenant_spec.h"
 #include "harness/experiment.h"
 #include "jsonio/json.h"
 #include "obs/metrics.h"
@@ -485,6 +487,62 @@ void BM_RetryPathKillHeavy(benchmark::State& state) {
   state.counters["retries"] = benchmark::Counter(static_cast<double>(retries));
 }
 BENCHMARK(BM_RetryPathKillHeavy)->Unit(benchmark::kMillisecond);
+
+// --- Multi-tenant admission ------------------------------------------------
+
+// The tenant governor's ingress tax: one TenantOf + one AdmitAtIngress per
+// iteration against a live shed plan (overloaded fleet, mid-run thresholds).
+// This is the entire per-request cost of tenancy on the hot path — two
+// splitmix64 hashes, one atomic threshold load and two relaxed counter
+// bumps — and the gate pins it at nanoseconds next to the ~µs broker
+// decision. Captured in bench/BENCH_PR9.json.
+void BM_TenantAdmissionDecision(benchmark::State& state) {
+  TenantGovernor governor(MakeReferenceTenantCatalog(), /*seed=*/42);
+  std::vector<ModuleState> states(5);
+  states[2].load_factor = 1.6;  // Sheds ~37% of traffic, floors permitting.
+  governor.Resync(states);
+  std::uint64_t id = 0;
+  std::uint64_t admitted = 0;
+  for (auto _ : state) {
+    ++id;
+    const int tenant = governor.TenantOf(id);
+    admitted += governor.AdmitAtIngress(id, tenant) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(admitted);
+  state.counters["admit_rate"] = benchmark::Counter(
+      id > 0 ? static_cast<double>(admitted) / static_cast<double>(id) : 0.0);
+}
+BENCHMARK(BM_TenantAdmissionDecision);
+
+// The consolidation scenario, compressed: a 3-tenant mix on one shared
+// fleet, end to end through the simulator with per-tenant accounting and
+// fleet-cost tracking on. Compare with BM_EndToEndRun — the delta is the
+// whole-run price of tenancy (stamping, governor resyncs, per-tenant
+// metrics). The counter reports weighted good requests per cost-unit, the
+// objective bench/consolidation.cc demonstrates at full scale.
+void BM_TenantConsolidationRun(benchmark::State& state) {
+  ExperimentConfig config;
+  config.app = "lv";
+  config.trace = "tweet";
+  config.policy = "pard";
+  config.duration_s = 2.0;
+  config.base_rate = 60.0;
+  config.seed = 7;
+  config.provision_factor = 1.25;
+  config.runtime.enable_scaling = true;
+  config.runtime.scaling_epoch = 5 * kUsPerSec;
+  config.runtime.tenants = MakeReferenceTenantCatalog();
+  double value_per_cost = 0.0;
+  for (auto _ : state) {
+    const ExperimentResult result = RunExperiment(config);
+    value_per_cost = result.fleet_cost > 0.0
+                         ? result.analysis->WeightedGoodCount() / result.fleet_cost
+                         : 0.0;
+    benchmark::DoNotOptimize(result.analysis->WeightedNormalizedGoodput());
+  }
+  state.counters["weighted_good_per_cost"] = benchmark::Counter(value_per_cost);
+}
+BENCHMARK(BM_TenantConsolidationRun)->Unit(benchmark::kMillisecond);
 
 // --- End to end ------------------------------------------------------------
 

@@ -125,6 +125,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   result.worker_history = pipeline.worker_history();
   result.retries = pipeline.retries();
+  result.fleet_cost = pipeline.fleet().AccumulatedCost(pipeline.sim().Now());
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {
     result.transitions = pard->transition_log();
   }
@@ -176,6 +177,7 @@ ExperimentResult RunServeExperiment(const ExperimentConfig& config, const ServeO
 
   result.worker_history = server.worker_history();
   result.retries = server.retries();
+  result.fleet_cost = server.fleet().AccumulatedCost(server.clock().Now());
   result.watchdog_recoveries = server.watchdog_recoveries();
   result.stale_fallbacks = server.control().StaleFallbacks();
   if (auto* pard = dynamic_cast<PardPolicy*>(policy.get())) {

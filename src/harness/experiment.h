@@ -101,6 +101,13 @@ struct ExperimentResult {
   std::uint64_t retries = 0;
   std::uint64_t watchdog_recoveries = 0;
   std::uint64_t stale_fallbacks = 0;
+
+  // Total provisioning cost of the run in cost-units: each worker accrues
+  // its backend's cost_per_s over the interval it was provisioned (see
+  // BackendFleet::AccumulatedCost). With the default single-grade catalog
+  // (cost_per_s == 1.0 everywhere) this is worker-seconds. Zero for sharded
+  // runs, which discard per-runtime fleets.
+  double fleet_cost = 0.0;
 };
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);

@@ -107,6 +107,55 @@ double RunAnalysis::NormalizedGoodput() const {
   return static_cast<double>(GoodCount()) / static_cast<double>(requests_.size());
 }
 
+std::vector<TenantBreakdown> RunAnalysis::PerTenant() const {
+  int num_tenants = 0;
+  for (const RequestPtr& r : requests_) {
+    num_tenants = std::max(num_tenants, r->tenant + 1);
+  }
+  std::vector<TenantBreakdown> tenants(static_cast<std::size_t>(num_tenants));
+  for (TenantBreakdown& t : tenants) {
+    t.drop_reasons.assign(static_cast<std::size_t>(kNumDropReasons), 0);
+  }
+  for (const RequestPtr& r : requests_) {
+    if (r->tenant < 0) {
+      continue;
+    }
+    TenantBreakdown& t = tenants[static_cast<std::size_t>(r->tenant)];
+    ++t.total;
+    t.weight = r->weight;
+    if (r->Good()) {
+      ++t.good;
+    } else if (r->CountsDropped()) {
+      ++t.dropped;
+      ++t.drop_reasons[static_cast<std::size_t>(r->drop_reason)];
+    }
+  }
+  return tenants;
+}
+
+double RunAnalysis::WeightedGoodCount() const {
+  double sum = 0.0;
+  for (const RequestPtr& r : requests_) {
+    if (r->Good()) {
+      sum += r->weight;
+    }
+  }
+  return sum;
+}
+
+double RunAnalysis::WeightedTotal() const {
+  double sum = 0.0;
+  for (const RequestPtr& r : requests_) {
+    sum += r->weight;
+  }
+  return sum;
+}
+
+double RunAnalysis::WeightedNormalizedGoodput() const {
+  const double total = WeightedTotal();
+  return total == 0.0 ? 0.0 : WeightedGoodCount() / total;
+}
+
 RunAnalysis RunAnalysis::Slice(SimTime begin, SimTime end) const {
   std::vector<RequestPtr> slice;
   for (const RequestPtr& r : requests_) {

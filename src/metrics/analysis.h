@@ -22,6 +22,23 @@ struct SeriesPoint {
   double value;
 };
 
+// Per-tenant slice of a multi-tenant run's accounting (metrics/report.cc
+// serializes it into the report's "tenants" block). `drop_reasons` has
+// size kNumDropReasons and its non-zero entries sum to `dropped` — the
+// same conservation invariant as the run-wide counts, pinned per tenant by
+// tests/tenant_test.cc.
+struct TenantBreakdown {
+  std::size_t total = 0;
+  std::size_t good = 0;
+  std::size_t dropped = 0;
+  double weight = 1.0;  // Stamped on the tenant's requests at injection.
+  std::vector<std::size_t> drop_reasons;
+
+  double NormalizedGoodput() const {
+    return total == 0 ? 0.0 : static_cast<double>(good) / static_cast<double>(total);
+  }
+};
+
 class RunAnalysis {
  public:
   RunAnalysis(std::vector<RequestPtr> requests, const PipelineSpec& spec);
@@ -44,6 +61,18 @@ class RunAnalysis {
   double MeanGoodput() const;
   // Mean goodput / mean input rate.
   double NormalizedGoodput() const;
+
+  // --- Multi-tenant accounting ---------------------------------------------
+  // One breakdown per tenant id (max tag + 1 entries); empty for untenanted
+  // runs. Requests without a tag (tenant < 0) are excluded.
+  std::vector<TenantBreakdown> PerTenant() const;
+  // Σ request.weight over good requests / over all requests. Untenanted
+  // requests carry weight 1.0, so these degenerate to the unweighted counts.
+  double WeightedGoodCount() const;
+  double WeightedTotal() const;
+  // WeightedGoodCount / WeightedTotal — the weighted global objective the
+  // tenant governor maximizes.
+  double WeightedNormalizedGoodput() const;
 
   // Restrict analysis to requests *sent* within [begin, end] — used for the
   // burst-region panels of Fig. 10.

@@ -93,4 +93,50 @@ JsonValue BuildRunReport(const RunAnalysis& analysis, const ReportOptions& optio
   return JsonValue(std::move(report));
 }
 
+JsonValue BuildTenantReport(const RunAnalysis& analysis,
+                            const std::vector<TenantSpec>& catalog) {
+  const std::vector<TenantBreakdown> tenants = analysis.PerTenant();
+  JsonObject block;
+  block["count"] = static_cast<std::int64_t>(catalog.size());
+  block["weighted_normalized_goodput"] = analysis.WeightedNormalizedGoodput();
+  JsonArray per_tenant;
+  for (std::size_t t = 0; t < catalog.size(); ++t) {
+    const TenantSpec& spec = catalog[t];
+    // A tenant may legally see zero requests on a short run; PerTenant()
+    // only sizes up to the highest tag actually seen.
+    static const TenantBreakdown kEmpty{};
+    const TenantBreakdown& b = t < tenants.size() ? tenants[t] : kEmpty;
+    JsonObject row;
+    row["name"] = spec.name;
+    row["weight"] = spec.weight;
+    row["share"] = spec.share;
+    row["total"] = static_cast<std::int64_t>(b.total);
+    row["good"] = static_cast<std::int64_t>(b.good);
+    row["dropped"] = static_cast<std::int64_t>(b.dropped);
+    row["normalized_goodput"] = b.NormalizedGoodput();
+    // Fraction of this tenant's offered requests NOT shed at ingress — the
+    // fairness-floor observable (>= admit_floor up to hash quantization).
+    const std::size_t shed =
+        b.drop_reasons.empty()
+            ? 0
+            : b.drop_reasons[static_cast<std::size_t>(DropReason::kTenantShed)];
+    row["admit_rate"] =
+        b.total == 0 ? 1.0
+                     : 1.0 - static_cast<double>(shed) / static_cast<double>(b.total);
+    JsonObject breakdown;
+    for (int r = 0; r < kNumDropReasons && !b.drop_reasons.empty(); ++r) {
+      const std::size_t count = b.drop_reasons[static_cast<std::size_t>(r)];
+      if (count == 0) {
+        continue;  // Per-tenant rows omit zero reasons to stay compact.
+      }
+      breakdown[DropReasonName(static_cast<DropReason>(r))] =
+          static_cast<std::int64_t>(count);
+    }
+    row["drop_reasons"] = std::move(breakdown);
+    per_tenant.push_back(JsonValue(std::move(row)));
+  }
+  block["per_tenant"] = std::move(per_tenant);
+  return JsonValue(std::move(block));
+}
+
 }  // namespace pard

@@ -8,6 +8,7 @@
 
 #include "jsonio/json.h"
 #include "metrics/analysis.h"
+#include "pipeline/tenant_spec.h"
 
 namespace pard {
 
@@ -28,6 +29,19 @@ struct ReportOptions {
 //   "series":    {t_s: [...], normalized_goodput: [...], drop_rate: [...]}
 // }
 JsonValue BuildRunReport(const RunAnalysis& analysis, const ReportOptions& options = {});
+
+// The per-tenant block pardsim injects as report["tenants"] for
+// multi-tenant runs. Layout:
+// {
+//   "count": N,
+//   "weighted_normalized_goodput": ...,
+//   "per_tenant": [{name, weight, share, total, good, dropped,
+//                   normalized_goodput, admit_rate, drop_reasons: {...}}]
+// }
+// `catalog` supplies names/shares; its order must match the tenant ids the
+// requests were stamped with (RuntimeOptions::tenants order).
+JsonValue BuildTenantReport(const RunAnalysis& analysis,
+                            const std::vector<TenantSpec>& catalog);
 
 }  // namespace pard
 

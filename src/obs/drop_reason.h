@@ -29,6 +29,11 @@
 //       deadline budget).
 //   kRetryExhausted     — the request was re-enqueued after worker failures
 //       until it ran out of retry attempts (ResilienceOptions::max_retries).
+//   kTenantShed         — the tenant governor shed the request at ingress to
+//       protect weighted global goodput: the fleet is overloaded and this
+//       tenant's weight puts it below the shed line (never below its
+//       admit_floor — see core/tenant_governor.h). Only occurs in
+//       multi-tenant runs.
 #ifndef PARD_OBS_DROP_REASON_H_
 #define PARD_OBS_DROP_REASON_H_
 
@@ -46,9 +51,10 @@ enum class DropReason : std::uint8_t {
   kSloLate = 6,
   kWorkerFailure = 7,
   kRetryExhausted = 8,
+  kTenantShed = 9,
 };
 
-inline constexpr int kNumDropReasons = 9;  // Including kNone.
+inline constexpr int kNumDropReasons = 10;  // Including kNone.
 
 // Stable snake_case identifier, used as the metrics/report JSON key and the
 // trace-event argument.
@@ -72,6 +78,8 @@ inline const char* DropReasonName(DropReason reason) {
       return "worker_failure";
     case DropReason::kRetryExhausted:
       return "retry_exhausted";
+    case DropReason::kTenantShed:
+      return "tenant_shed";
   }
   return "unknown";
 }

@@ -17,13 +17,16 @@ double BackendProfile::ExecScaleFor(const std::string& model) const {
 }
 
 bool BackendProfile::IsBaseline() const {
-  return speed_grade == 1.0 && cold_start < 0 && module_scale.empty();
+  return speed_grade == 1.0 && cold_start < 0 && cost_per_s == 1.0 && module_scale.empty();
 }
 
 void BackendProfile::Validate() const {
   PARD_CHECK_MSG(std::isfinite(speed_grade) && speed_grade > 0.0,
                  "backend profile \"" << name << "\" has non-positive speed_grade "
                                       << speed_grade);
+  PARD_CHECK_MSG(std::isfinite(cost_per_s) && cost_per_s > 0.0,
+                 "backend profile \"" << name << "\" has non-positive cost_per_s "
+                                      << cost_per_s);
   for (const auto& [model, scale] : module_scale) {
     PARD_CHECK_MSG(std::isfinite(scale) && scale > 0.0,
                    "backend profile \"" << name << "\" has non-positive module_scale for \""
@@ -37,6 +40,9 @@ JsonValue BackendProfile::ToJson() const {
   obj["speed_grade"] = speed_grade;
   if (cold_start >= 0) {
     obj["cold_start_ms"] = UsToMs(cold_start);
+  }
+  if (cost_per_s != 1.0) {
+    obj["cost_per_s"] = cost_per_s;
   }
   if (!module_scale.empty()) {
     JsonObject scales;
@@ -55,9 +61,10 @@ BackendProfile BackendProfile::FromJson(const JsonValue& v) {
   for (const auto& [key, value] : v.AsObject()) {
     (void)value;
     if (key != "name" && key != "speed_grade" && key != "cold_start_ms" &&
-        key != "module_scale") {
-      throw JsonError("unknown backend-profile field \"" + key +
-                      "\" (supported: name, speed_grade, cold_start_ms, module_scale)");
+        key != "cost_per_s" && key != "module_scale") {
+      throw JsonError(
+          "unknown backend-profile field \"" + key +
+          "\" (supported: name, speed_grade, cold_start_ms, cost_per_s, module_scale)");
     }
   }
   if (const JsonValue* name = v.Find("name")) {
@@ -68,6 +75,9 @@ BackendProfile BackendProfile::FromJson(const JsonValue& v) {
   }
   if (const JsonValue* cold = v.Find("cold_start_ms")) {
     profile.cold_start = MsToUs(cold->AsDouble());
+  }
+  if (const JsonValue* cost = v.Find("cost_per_s")) {
+    profile.cost_per_s = cost->AsDouble();
   }
   if (const JsonValue* scales = v.Find("module_scale")) {
     for (const auto& [model, scale] : scales->AsObject()) {
@@ -86,14 +96,27 @@ std::vector<BackendProfile> ParseBackendGrades(const std::string& text) {
     if (trimmed.empty()) {
       continue;
     }
+    // "1.0" or "1.0@3.5" (grade at a per-second cost).
+    const std::size_t at = trimmed.find('@');
+    const std::string grade_text = trimmed.substr(0, at);
     char* end = nullptr;
-    const double grade = std::strtod(trimmed.c_str(), &end);
-    PARD_CHECK_MSG(end != trimmed.c_str() && *end == '\0' && std::isfinite(grade) && grade > 0.0,
+    const double grade = std::strtod(grade_text.c_str(), &end);
+    PARD_CHECK_MSG(end != grade_text.c_str() && *end == '\0' && std::isfinite(grade) &&
+                       grade > 0.0,
                    "invalid backend grade \"" << trimmed
                                               << "\" (expected a positive number)");
     BackendProfile profile;
     profile.name = "grade" + std::to_string(index++);
     profile.speed_grade = grade;
+    if (at != std::string::npos) {
+      const std::string cost_text = trimmed.substr(at + 1);
+      const double cost = std::strtod(cost_text.c_str(), &end);
+      PARD_CHECK_MSG(end != cost_text.c_str() && *end == '\0' && std::isfinite(cost) &&
+                         cost > 0.0,
+                     "invalid backend cost in \"" << trimmed
+                                                  << "\" (expected grade@positive-cost)");
+      profile.cost_per_s = cost;
+    }
     profile.Validate();
     catalog.push_back(std::move(profile));
   }

@@ -41,6 +41,14 @@ struct BackendProfile {
   // a colder tier slower — scale-up latency is a per-backend property.
   Duration cold_start = -1;
 
+  // Price of one provisioned-second of this class, in arbitrary $ units.
+  // 1.0 (the baseline) keeps cost == provisioned-time and existing configs
+  // byte-stable (the field is emitted only when set). Cost-aware
+  // provisioning (RuntimeOptions::cost_aware_provisioning) picks the grade
+  // maximizing speed / cost_per_s; BackendFleet::AccumulatedCost integrates
+  // it over each slot's provisioned lifetime for $/goodput reporting.
+  double cost_per_s = 1.0;
+
   // Optional per-module latency scale: model name -> extra duration
   // multiplier on top of the grade (a card can be disproportionately bad at
   // one model class). Keys must name models that exist in the pipeline;
@@ -67,14 +75,18 @@ struct BackendProfile {
 
   bool operator==(const BackendProfile& other) const {
     return name == other.name && speed_grade == other.speed_grade &&
-           cold_start == other.cold_start && module_scale == other.module_scale;
+           cold_start == other.cold_start && cost_per_s == other.cost_per_s &&
+           module_scale == other.module_scale;
   }
   bool operator!=(const BackendProfile& other) const { return !(*this == other); }
 };
 
-// Parses a comma-separated grade list ("1.0,0.5,0.25" — the pardsim
-// --backend-grades format) into a catalog of profiles named "grade<i>".
-// Throws CheckError on malformed or non-positive entries.
+// Parses a comma-separated grade list (the pardsim --backend-grades
+// format) into a catalog of profiles named "grade<i>". Each entry is
+// either "1.0" (cost defaults to 1.0 $/s) or "1.0@3.5" (grade at a
+// per-second cost) — "1.0@3.5,0.5@1.0" describes a fast expensive tier and
+// a slow cheap one for cost-aware provisioning. Throws CheckError on
+// malformed or non-positive entries.
 std::vector<BackendProfile> ParseBackendGrades(const std::string& text);
 
 }  // namespace pard

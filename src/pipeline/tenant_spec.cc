@@ -1,0 +1,134 @@
+#include "pipeline/tenant_spec.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace pard {
+
+void TenantSpec::Validate() const {
+  PARD_CHECK_MSG(!name.empty(), "tenant has an empty name");
+  PARD_CHECK_MSG(std::isfinite(weight) && weight > 0.0,
+                 "tenant \"" << name << "\" has non-positive weight " << weight);
+  PARD_CHECK_MSG(std::isfinite(share) && share > 0.0 && share <= 1.0,
+                 "tenant \"" << name << "\" has share " << share << " outside (0, 1]");
+  PARD_CHECK_MSG(std::isfinite(slo_scale) && slo_scale > 0.0,
+                 "tenant \"" << name << "\" has non-positive slo_scale " << slo_scale);
+  PARD_CHECK_MSG(std::isfinite(admit_floor) && admit_floor >= 0.0 && admit_floor <= 1.0,
+                 "tenant \"" << name << "\" has admit_floor " << admit_floor
+                             << " outside [0, 1]");
+}
+
+JsonValue TenantSpec::ToJson() const {
+  JsonObject obj;
+  obj["name"] = name;
+  obj["weight"] = weight;
+  obj["share"] = share;
+  if (slo_scale != 1.0) {
+    obj["slo_scale"] = slo_scale;
+  }
+  if (admit_floor != 0.0) {
+    obj["admit_floor"] = admit_floor;
+  }
+  return JsonValue(std::move(obj));
+}
+
+TenantSpec TenantSpec::FromJson(const JsonValue& v) {
+  TenantSpec spec;
+  // Reject unknown fields up front: a typo'd "admit_flor" must fail the
+  // load, not silently run with no fairness floor.
+  for (const auto& [key, value] : v.AsObject()) {
+    (void)value;
+    if (key != "name" && key != "weight" && key != "share" && key != "slo_scale" &&
+        key != "admit_floor") {
+      throw JsonError("unknown tenant field \"" + key +
+                      "\" (supported: name, weight, share, slo_scale, admit_floor)");
+    }
+  }
+  if (const JsonValue* name = v.Find("name")) {
+    spec.name = name->AsString();
+  }
+  if (const JsonValue* weight = v.Find("weight")) {
+    spec.weight = weight->AsDouble();
+  }
+  if (const JsonValue* share = v.Find("share")) {
+    spec.share = share->AsDouble();
+  }
+  if (const JsonValue* scale = v.Find("slo_scale")) {
+    spec.slo_scale = scale->AsDouble();
+  }
+  if (const JsonValue* floor = v.Find("admit_floor")) {
+    spec.admit_floor = floor->AsDouble();
+  }
+  spec.Validate();
+  return spec;
+}
+
+void ValidateTenantCatalog(const std::vector<TenantSpec>& catalog) {
+  PARD_CHECK_MSG(!catalog.empty(), "tenant catalog is empty");
+  std::set<std::string> names;
+  double share_sum = 0.0;
+  for (const TenantSpec& tenant : catalog) {
+    tenant.Validate();
+    PARD_CHECK_MSG(names.insert(tenant.name).second,
+                   "tenant catalog repeats name \"" << tenant.name << "\"");
+    share_sum += tenant.share;
+  }
+  PARD_CHECK_MSG(std::fabs(share_sum - 1.0) <= 1e-6,
+                 "tenant catalog shares sum to " << share_sum << ", expected 1.0");
+}
+
+JsonValue TenantCatalogToJson(const std::vector<TenantSpec>& catalog) {
+  JsonArray tenants;
+  tenants.reserve(catalog.size());
+  for (const TenantSpec& tenant : catalog) {
+    tenants.push_back(tenant.ToJson());
+  }
+  JsonObject doc;
+  doc["tenants"] = std::move(tenants);
+  return JsonValue(std::move(doc));
+}
+
+std::vector<TenantSpec> ParseTenantCatalog(const JsonValue& doc) {
+  // Reject unknown top-level keys too — the file IS the catalog.
+  for (const auto& [key, value] : doc.AsObject()) {
+    (void)value;
+    if (key != "tenants") {
+      throw JsonError("unknown tenant-catalog field \"" + key + "\" (supported: tenants)");
+    }
+  }
+  std::vector<TenantSpec> catalog;
+  for (const JsonValue& entry : doc.At("tenants").AsArray()) {
+    catalog.push_back(TenantSpec::FromJson(entry));
+  }
+  ValidateTenantCatalog(catalog);
+  return catalog;
+}
+
+std::vector<TenantSpec> ParseTenantCatalogText(std::string_view text) {
+  return ParseTenantCatalog(ParseJson(text));
+}
+
+std::vector<TenantSpec> MakeReferenceTenantCatalog() {
+  std::vector<TenantSpec> catalog(3);
+  catalog[0].name = "platinum";
+  catalog[0].weight = 4.0;
+  catalog[0].share = 0.2;
+  catalog[0].slo_scale = 1.0;
+  catalog[0].admit_floor = 0.9;
+  catalog[1].name = "standard";
+  catalog[1].weight = 2.0;
+  catalog[1].share = 0.3;
+  catalog[1].slo_scale = 1.0;
+  catalog[1].admit_floor = 0.5;
+  catalog[2].name = "batch";
+  catalog[2].weight = 1.0;
+  catalog[2].share = 0.5;
+  catalog[2].slo_scale = 2.0;
+  catalog[2].admit_floor = 0.1;
+  ValidateTenantCatalog(catalog);
+  return catalog;
+}
+
+}  // namespace pard

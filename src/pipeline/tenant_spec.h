@@ -1,0 +1,94 @@
+// Tenant catalog: the multi-tenant workload description.
+//
+// The paper's goodput argument is single-tenant — one pipeline, one SLO.
+// Production fleets (GoodServe's regime, see PAPERS.md) serve many tenants
+// with different SLO classes and business weights from ONE shared
+// BackendFleet, and the interesting admission question becomes *weighted
+// global* goodput: shedding a low-weight tenant's request is correct when
+// it saves capacity for higher-weight ones. A TenantSpec describes one such
+// tenant:
+//
+//   * share       — the tenant's fraction of the arrival stream. Requests
+//                   are assigned to tenants by a deterministic hash of the
+//                   request id (core/tenant_governor.h), so the arrival
+//                   process itself is untouched and untenanted runs stay
+//                   bit-identical.
+//   * weight      — goodput value per completed request; the governor sheds
+//                   lowest-weight traffic first under overload, and reports
+//                   weighted (normalized) goodput = Σ weight over good.
+//   * slo_scale   — per-tenant SLO class: the request's SLO is the pipeline
+//                   SLO times this scale (2.0 = a relaxed batch tier).
+//   * admit_floor — fairness bound: the minimum fraction of this tenant's
+//                   own offered requests that ingress must admit, no matter
+//                   how overloaded the fleet is (tests/tenant_test.cc pins
+//                   that no tenant starves below its floor).
+//
+// Catalogs load from JSON ({"tenants": [...]}, see configs/
+// tenants_mixed.json) with the same strict unknown-field rejection as
+// BackendProfile::FromJson.
+#ifndef PARD_PIPELINE_TENANT_SPEC_H_
+#define PARD_PIPELINE_TENANT_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jsonio/json.h"
+
+namespace pard {
+
+struct TenantSpec {
+  // Catalog label ("platinum", "batch", ...). Must be unique per catalog.
+  std::string name = "tenant";
+
+  // Goodput value of one completed request. Must be positive.
+  double weight = 1.0;
+
+  // Fraction of arrivals assigned to this tenant. Positive; a catalog's
+  // shares must sum to 1 (within 1e-6).
+  double share = 1.0;
+
+  // Per-tenant SLO = pipeline SLO * slo_scale. Must be positive.
+  double slo_scale = 1.0;
+
+  // Minimum ingress admit probability under overload, in [0, 1].
+  // 0 = the governor may shed this tenant entirely.
+  double admit_floor = 0.0;
+
+  // Throws CheckError on out-of-range fields.
+  void Validate() const;
+
+  JsonValue ToJson() const;
+  // Strict: unknown fields throw JsonError (same discipline as
+  // BackendProfile::FromJson) instead of silently running defaults.
+  static TenantSpec FromJson(const JsonValue& v);
+
+  bool operator==(const TenantSpec& other) const {
+    return name == other.name && weight == other.weight && share == other.share &&
+           slo_scale == other.slo_scale && admit_floor == other.admit_floor;
+  }
+  bool operator!=(const TenantSpec& other) const { return !(*this == other); }
+};
+
+// Throws CheckError if the catalog is empty, has duplicate names, or its
+// shares do not sum to 1 (within 1e-6).
+void ValidateTenantCatalog(const std::vector<TenantSpec>& catalog);
+
+// {"tenants": [...]} document wrapper, the configs/tenants_mixed.json
+// on-disk format.
+JsonValue TenantCatalogToJson(const std::vector<TenantSpec>& catalog);
+
+// Parses a {"tenants": [...]} document (as produced by TenantCatalogToJson)
+// and validates the result. Throws JsonError/CheckError on malformed input.
+std::vector<TenantSpec> ParseTenantCatalog(const JsonValue& doc);
+std::vector<TenantSpec> ParseTenantCatalogText(std::string_view text);
+
+// The reference 3-tenant mix behind configs/tenants_mixed.json (written by
+// tools/dump_configs, round-tripped by tests/configs_test.cc): a
+// high-weight interactive tier, a mid-weight standard tier, and a
+// half-the-traffic batch tier with a relaxed SLO and a low floor.
+std::vector<TenantSpec> MakeReferenceTenantCatalog();
+
+}  // namespace pard
+
+#endif  // PARD_PIPELINE_TENANT_SPEC_H_

@@ -25,7 +25,9 @@ const char* BackendStateName(BackendState s) {
   return "?";
 }
 
-BackendFleet::BackendFleet(const PipelineSpec& spec, Duration default_cold_start) {
+BackendFleet::BackendFleet(const PipelineSpec& spec, Duration default_cold_start,
+                           bool cost_aware) {
+  cost_aware_ = cost_aware;
   catalog_ = spec.backends();
   if (catalog_.empty()) {
     catalog_.push_back(BackendProfile{});  // Homogeneous baseline fleet.
@@ -54,13 +56,34 @@ BackendSlot BackendFleet::Provision(int module_id, SimTime now) {
   Entry entry;
   entry.slot.module_id = module_id;
   entry.slot.worker_id = static_cast<int>(roster.size());
-  entry.slot.profile_index = entry.slot.worker_id % static_cast<int>(catalog_.size());
+  if (cost_aware_) {
+    // $/goodput objective: provision the grade with the best capacity per
+    // dollar at THIS module (speeds are per-(module, profile) — a card that
+    // is disproportionately bad at one model loses here). Ties keep the
+    // lowest catalog index, so a homogeneous-cost catalog picks the fastest
+    // grade deterministically.
+    const auto& scales = exec_scales_[static_cast<std::size_t>(module_id)];
+    int best = 0;
+    double best_value = -1.0;
+    for (int p = 0; p < static_cast<int>(catalog_.size()); ++p) {
+      const double speed = 1.0 / scales[static_cast<std::size_t>(p)];
+      const double value = speed / catalog_[static_cast<std::size_t>(p)].cost_per_s;
+      if (value > best_value) {
+        best_value = value;
+        best = p;
+      }
+    }
+    entry.slot.profile_index = best;
+  } else {
+    entry.slot.profile_index = entry.slot.worker_id % static_cast<int>(catalog_.size());
+  }
   const double scale = exec_scales_[static_cast<std::size_t>(module_id)]
                                    [static_cast<std::size_t>(entry.slot.profile_index)];
   entry.slot.exec_scale = scale;
   entry.slot.speed = 1.0 / scale;
   entry.slot.cold_start = cold_starts_[static_cast<std::size_t>(entry.slot.profile_index)];
   entry.state = BackendState::kColdStarting;
+  entry.provisioned_at = now;
   transitions_.push_back(
       FleetTransition{now, module_id, entry.slot.worker_id, BackendState::kColdStarting});
   roster.push_back(entry);
@@ -91,6 +114,9 @@ void BackendFleet::SetState(int module_id, int worker_id, BackendState to, SimTi
                            << BackendStateName(entry.state) << "; cannot become "
                            << BackendStateName(to));
   entry.state = to;
+  if (to == BackendState::kRetired || to == BackendState::kFailed) {
+    entry.ended_at = now;  // Terminal: the slot stops accruing cost.
+  }
   transitions_.push_back(FleetTransition{now, module_id, worker_id, to});
 }
 
@@ -203,6 +229,21 @@ double BackendFleet::PublishCapacity(int module_id, double per_worker_throughput
   state.mean_speed = state.effective_units / static_cast<double>(state.num_workers);
   state.per_worker_throughput = per_worker_throughput;
   return per_worker_throughput * state.effective_units;
+}
+
+double BackendFleet::AccumulatedCost(SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double cost = 0.0;
+  for (const auto& roster : rosters_) {
+    for (const Entry& e : roster) {
+      const SimTime end = e.ended_at >= 0 ? e.ended_at : now;
+      if (end > e.provisioned_at) {
+        cost += catalog_[static_cast<std::size_t>(e.slot.profile_index)].cost_per_s *
+                UsToSec(end - e.provisioned_at);
+      }
+    }
+  }
+  return cost;
 }
 
 const BackendProfile& BackendFleet::Profile(int index) const {

@@ -76,8 +76,11 @@ struct FleetSample {
 class BackendFleet {
  public:
   // Builds the catalog from spec.backends() (a single baseline profile when
-  // empty); `default_cold_start` fills profiles without an override.
-  BackendFleet(const PipelineSpec& spec, Duration default_cold_start);
+  // empty); `default_cold_start` fills profiles without an override. With
+  // `cost_aware` set, Provision() picks the catalog grade maximizing
+  // speed / cost_per_s for the module instead of round-robin — the
+  // $/goodput objective of RuntimeOptions::cost_aware_provisioning.
+  BackendFleet(const PipelineSpec& spec, Duration default_cold_start, bool cost_aware = false);
 
   BackendFleet(const BackendFleet&) = delete;
   BackendFleet& operator=(const BackendFleet&) = delete;
@@ -120,6 +123,13 @@ class BackendFleet {
   int CatalogSize() const { return static_cast<int>(catalog_.size()); }
   const BackendProfile& Profile(int index) const;
 
+  // Total fleet spend up to `now`, in $ (profile cost_per_s integrated over
+  // each slot's provisioned lifetime — provision to retire/fail, still
+  // accruing for live slots). With the default 1.0 $/s catalog this is
+  // exactly provisioned worker-seconds, so goodput-per-dollar degenerates
+  // to goodput-per-worker-second.
+  double AccumulatedCost(SimTime now) const;
+
   // Timestamped roster changes since construction (copy; thread-safe).
   std::vector<FleetTransition> transitions() const;
 
@@ -127,12 +137,15 @@ class BackendFleet {
   struct Entry {
     BackendSlot slot;
     BackendState state = BackendState::kColdStarting;
+    SimTime provisioned_at = 0;  // Cost accrues from here...
+    SimTime ended_at = -1;       // ...to here (terminal transition; -1 = live).
   };
 
   Entry& Find(int module_id, int worker_id);
   const Entry& Find(int module_id, int worker_id) const;
 
   std::vector<BackendProfile> catalog_;
+  bool cost_aware_ = false;
   // exec_scales_[module][profile]: catalog profile's duration multiplier at
   // that module's model, precomputed so slots are plain numbers.
   std::vector<std::vector<double>> exec_scales_;

@@ -29,8 +29,11 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
       board_(spec.NumModules()),
       rng_(options.seed),
       batch_sizes_(PlanBatchSizes(spec)),
-      fleet_(spec_, options_.cold_start) {
+      fleet_(spec_, options_.cold_start, options_.cost_aware_provisioning) {
   PARD_CHECK(policy_ != nullptr);
+  if (!options_.tenants.empty()) {
+    governor_ = std::make_unique<TenantGovernor>(options_.tenants, options_.seed);
+  }
   std::vector<int> workers;
   if (!options_.fixed_workers.empty()) {
     PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
@@ -54,6 +57,14 @@ PipelineRuntime::PipelineRuntime(const PipelineSpec& spec, const RuntimeOptions&
           DropCounterName(static_cast<DropReason>(r)));
     }
     retry_counter_ = options_.metrics->GetCounter("resilience.retries");
+    if (governor_ != nullptr) {
+      for (const TenantSpec& tenant : options_.tenants) {
+        tenant_completed_.push_back(
+            options_.metrics->GetCounter("tenant." + tenant.name + ".completed"));
+        tenant_dropped_.push_back(
+            options_.metrics->GetCounter("tenant." + tenant.name + ".dropped"));
+      }
+    }
   }
   // Periodic control-plane ticks.
   sim_.ScheduleAfter(options_.sync_period, [this] { SyncTick(); });
@@ -145,6 +156,15 @@ void PipelineRuntime::Inject() {
   req->id = next_request_id_++;
   req->sent = sim_.Now();
   req->slo = spec_.slo();
+  if (governor_ != nullptr) {
+    // Tenant identity is a pure hash of the request id — no RNG draw, so
+    // arrivals and every downstream stream match the untenanted run.
+    req->tenant = governor_->TenantOf(req->id);
+    const TenantSpec& tenant = governor_->Tenant(req->tenant);
+    req->weight = tenant.weight;
+    req->slo = static_cast<Duration>(
+        std::llround(static_cast<double>(req->slo) * tenant.slo_scale));
+  }
   req->deadline = req->sent + req->slo;
   req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
   req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
@@ -152,6 +172,11 @@ void PipelineRuntime::Inject() {
     AssignDynamicPath(*req);
   }
   requests_.push_back(req);
+  if (governor_ != nullptr && !governor_->AdmitAtIngress(req->id, req->tenant)) {
+    // Weighted ingress shed: recorded (conservation) but never delivered.
+    Drop(std::move(req), spec_.SourceModule(), DropReason::kTenantShed);
+    return;
+  }
   Deliver(std::move(req), spec_.SourceModule());
 }
 
@@ -238,6 +263,9 @@ void PipelineRuntime::Drop(RequestPtr req, int module_id, DropReason reason) {
   if (drop_reason_counters_[static_cast<int>(reason)] != nullptr) {
     drop_reason_counters_[static_cast<int>(reason)]->Add();
   }
+  if (req->tenant >= 0 && !tenant_dropped_.empty()) {
+    tenant_dropped_[static_cast<std::size_t>(req->tenant)]->Add();
+  }
   if (options_.trace != nullptr) {
     TraceEvent ev;
     ev.kind = TraceEventKind::kFate;
@@ -261,6 +289,12 @@ void PipelineRuntime::Complete(RequestPtr req) {
       completed_counter_->Add();
     } else {
       drop_reason_counters_[static_cast<int>(DropReason::kSloLate)]->Add();
+    }
+    if (req->tenant >= 0 && !tenant_completed_.empty()) {
+      (req->fate == RequestFate::kCompleted
+           ? tenant_completed_[static_cast<std::size_t>(req->tenant)]
+           : tenant_dropped_[static_cast<std::size_t>(req->tenant)])
+          ->Add();
     }
   }
   if (options_.trace != nullptr) {
@@ -305,6 +339,11 @@ void PipelineRuntime::SyncTick() {
     m->Sync(now, &board_);
   }
   policy_->OnSync(now);
+  if (governor_ != nullptr) {
+    // Recompute the weighted shed plan from the states just published —
+    // same staleness as every other control-plane consumer.
+    governor_->ResyncFromBoard(board_);
+  }
   ++sync_count_;
   if (options_.trace != nullptr) {
     TraceEvent ev;
@@ -370,6 +409,9 @@ void PipelineRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
           nullptr) {
         drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)]
             ->Add();
+      }
+      if (req->tenant >= 0 && !tenant_dropped_.empty()) {
+        tenant_dropped_[static_cast<std::size_t>(req->tenant)]->Add();
       }
     }
   }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/tenant_governor.h"
 #include "pipeline/pipeline_spec.h"
 #include "runtime/backend_fleet.h"
 #include "runtime/drop_policy.h"
@@ -76,6 +77,10 @@ class PipelineRuntime {
   TraceRecorder* trace() { return options_.trace; }
   MetricsRegistry* metrics() { return options_.metrics; }
 
+  // Multi-tenant governor; null for untenanted runs (empty
+  // RuntimeOptions::tenants — the bit-identical historical path).
+  const TenantGovernor* governor() const { return governor_.get(); }
+
  private:
   void Inject();
   void AssignDynamicPath(Request& req);
@@ -106,6 +111,12 @@ class PipelineRuntime {
   Counter* completed_counter_ = nullptr;
   Counter* drop_reason_counters_[kNumDropReasons] = {};
   Counter* retry_counter_ = nullptr;
+  // Tenant-keyed fate tallies ("tenant.<name>.completed|dropped"), indexed
+  // by tenant; empty when untenanted or metrics are disabled.
+  std::vector<Counter*> tenant_completed_;
+  std::vector<Counter*> tenant_dropped_;
+  // Weighted ingress governor (null when options_.tenants is empty).
+  std::unique_ptr<TenantGovernor> governor_;
   std::int64_t sync_count_ = 0;
   std::uint64_t retries_ = 0;
   // Chaos stall-sync window: SyncTick keeps rescheduling but skips the

@@ -55,6 +55,13 @@ struct Request {
   Duration slo = 0;
   SimTime deadline = 0;
 
+  // Multi-tenant identity (immutable after injection, like id/sent/slo):
+  // index into RuntimeOptions::tenants, or -1 for untenanted runs. `weight`
+  // is the tenant's goodput value per completed request (1.0 untenanted) —
+  // weighted goodput sums it over good requests (metrics/analysis.h).
+  int tenant = -1;
+  double weight = 1.0;
+
   RequestFate fate = RequestFate::kInFlight;
   int drop_module = -1;   // Module where the policy dropped it (-1 otherwise).
   SimTime finish = -1;    // Completion or drop time.

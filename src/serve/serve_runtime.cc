@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -64,9 +65,12 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
       board_(spec.NumModules()),
       control_(&spec_, policy, &board_, MakeControlOptions(options)),
       batch_sizes_(PlanBatchSizes(spec_)),
-      fleet_(spec_, options.cold_start),
+      fleet_(spec_, options.cold_start, options.cost_aware_provisioning),
       rng_(options.seed) {
   PARD_CHECK(serve_.max_total_threads >= spec_.NumModules());
+  if (!options_.tenants.empty()) {
+    governor_ = std::make_unique<TenantGovernor>(options_.tenants, options_.seed);
+  }
   PARD_CHECK_MSG(serve_.broker_threads >= 1, "broker_threads must be >= 1");
   if (!options_.fixed_workers.empty()) {
     PARD_CHECK_MSG(static_cast<int>(options_.fixed_workers.size()) == spec_.NumModules(),
@@ -126,6 +130,14 @@ ServeRuntime::ServeRuntime(const PipelineSpec& spec, const RuntimeOptions& optio
       admitted_counters_.push_back(options_.metrics->GetCounter(
           "module.m" + std::to_string(m.id) + ".admitted"));
     }
+    if (governor_ != nullptr) {
+      for (const TenantSpec& tenant : options_.tenants) {
+        tenant_completed_.push_back(
+            options_.metrics->GetCounter("tenant." + tenant.name + ".completed"));
+        tenant_dropped_.push_back(
+            options_.metrics->GetCounter("tenant." + tenant.name + ".dropped"));
+      }
+    }
   }
 }
 
@@ -172,6 +184,15 @@ void ServeRuntime::Inject(SimTime scheduled) {
   req->id = next_request_id_++;
   req->sent = now;
   req->slo = spec_.slo();
+  if (governor_ != nullptr) {
+    // Tenant identity is a pure hash of the request id (no RNG draw) and is
+    // stamped before the request becomes visible to any other thread.
+    req->tenant = governor_->TenantOf(req->id);
+    const TenantSpec& tenant = governor_->Tenant(req->tenant);
+    req->weight = tenant.weight;
+    req->slo = static_cast<Duration>(
+        std::llround(static_cast<double>(req->slo) * tenant.slo_scale));
+  }
   req->deadline = req->sent + req->slo;
   req->hops.resize(static_cast<std::size_t>(spec_.NumModules()));
   req->merge_arrivals.assign(static_cast<std::size_t>(spec_.NumModules()), 0);
@@ -180,6 +201,13 @@ void ServeRuntime::Inject(SimTime scheduled) {
   }
   requests_.push_back(req);
   in_flight_.fetch_add(1, std::memory_order_release);
+  if (governor_ != nullptr && !governor_->AdmitAtIngress(req->id, req->tenant)) {
+    // Weighted ingress shed: lock-free threshold read on this (the load
+    // generator's) thread; the request is recorded for conservation but
+    // never reaches the broker backlog or any module queue.
+    Drop(req, spec_.SourceModule(), now, DropReason::kTenantShed);
+    return;
+  }
   if (serve_.broker_threads > 1) {
     {
       std::lock_guard<std::mutex> lock(broker_mu_);
@@ -307,6 +335,9 @@ void ServeRuntime::Drop(const RequestPtr& req, int module_id, SimTime now,
   if (drop_reason_counters_[static_cast<int>(reason)] != nullptr) {
     drop_reason_counters_[static_cast<int>(reason)]->Add();
   }
+  if (req->tenant >= 0 && !tenant_dropped_.empty()) {
+    tenant_dropped_[static_cast<std::size_t>(req->tenant)]->Add();
+  }
   if (options_.trace != nullptr) {
     TraceEvent ev;
     ev.kind = TraceEventKind::kFate;
@@ -379,6 +410,12 @@ void ServeRuntime::Complete(const RequestPtr& req, SimTime now) {
       completed_counter_->Add();
     } else {
       drop_reason_counters_[static_cast<int>(DropReason::kSloLate)]->Add();
+    }
+    if (req->tenant >= 0 && !tenant_completed_.empty()) {
+      (fate == RequestFate::kCompleted
+           ? tenant_completed_[static_cast<std::size_t>(req->tenant)]
+           : tenant_dropped_[static_cast<std::size_t>(req->tenant)])
+          ->Add();
     }
   }
   if (options_.trace != nullptr) {
@@ -543,6 +580,11 @@ void ServeRuntime::ControlLoop() {
       for (auto& module : modules_) {
         states.push_back(module->Snapshot(now));  // Shard locks, one at a time.
       }
+      if (governor_ != nullptr) {
+        // Weighted shed plan from the same states the brokers are about to
+        // read — the governor is never fresher than the snapshot.
+        governor_->Resync(states);
+      }
       // Control lock; publishes a fresh immutable snapshot for the brokers.
       control_.Sync(std::move(states), now);
       if (options_.trace != nullptr) {
@@ -684,6 +726,9 @@ void ServeRuntime::RunTrace(const std::vector<SimTime>& arrivals) {
           nullptr) {
         drop_reason_counters_[static_cast<int>(DropReason::kDrainAbandoned)]
             ->Add();
+      }
+      if (req->tenant >= 0 && !tenant_dropped_.empty()) {
+        tenant_dropped_[static_cast<std::size_t>(req->tenant)]->Add();
       }
     }
   }

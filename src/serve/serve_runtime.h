@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/tenant_governor.h"
 #include "exec/thread_pool.h"
 #include "pipeline/pipeline_spec.h"
 #include "runtime/backend_fleet.h"
@@ -126,6 +127,11 @@ class ServeRuntime {
   // without synchronization; see obs/trace_recorder.h.
   TraceRecorder* trace() { return options_.trace; }
   MetricsRegistry* metrics() { return options_.metrics; }
+
+  // Multi-tenant governor; null for untenanted runs (empty
+  // RuntimeOptions::tenants). Its ingress reads are lock-free, so the load
+  // generator consults it without entering the lock-rank hierarchy.
+  const TenantGovernor* governor() const { return governor_.get(); }
 
   // Resilience counters (valid while running and after RunTrace returns).
   std::uint64_t retries() const {
@@ -237,6 +243,15 @@ class ServeRuntime {
   Counter* retry_counter_ = nullptr;
   Counter* watchdog_counter_ = nullptr;
   std::vector<Counter*> admitted_counters_;  // per module
+  // Tenant-keyed fate tallies ("tenant.<name>.completed|dropped"), indexed
+  // by tenant; empty when untenanted or metrics are disabled. Counters are
+  // lock-free, bumped outside the fate stripes like the fate counters.
+  std::vector<Counter*> tenant_completed_;
+  std::vector<Counter*> tenant_dropped_;
+  // Weighted ingress governor (null when options_.tenants is empty). The
+  // control thread resyncs it at each snapshot publish; Inject reads it
+  // lock-free.
+  std::unique_ptr<TenantGovernor> governor_;
 };
 
 }  // namespace pard

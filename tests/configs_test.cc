@@ -9,6 +9,7 @@
 
 #include "pipeline/apps.h"
 #include "pipeline/pipeline_spec.h"
+#include "pipeline/tenant_spec.h"
 
 namespace pard {
 namespace {
@@ -51,6 +52,22 @@ TEST_P(ConfigsTest, LoadsAndMatchesBuiltin) {
   for (std::size_t i = 0; i < builtin.backends().size(); ++i) {
     EXPECT_EQ(loaded.backends()[i], builtin.backends()[i]) << c.file << " backend " << i;
   }
+}
+
+// The shipped tenant catalog must parse, validate, and round-trip the
+// reference mix exactly (same discipline as the pipeline specs).
+TEST(TenantCatalogConfig, TenantsMixedRoundTrips) {
+  const std::vector<TenantSpec> loaded =
+      ParseTenantCatalogText(ReadFile(ConfigPath("tenants_mixed.json")));
+  const std::vector<TenantSpec> reference = MakeReferenceTenantCatalog();
+  ASSERT_EQ(loaded.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(loaded[i], reference[i]) << "tenant " << i;
+  }
+  // Serializing the loaded catalog must reproduce the file byte-for-byte
+  // (dump_configs wrote it with Dump(2) + trailing newline).
+  EXPECT_EQ(TenantCatalogToJson(loaded).Dump(2) + "\n",
+            ReadFile(ConfigPath("tenants_mixed.json")));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigsTest,

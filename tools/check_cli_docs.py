@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Drift check for docs/CLI.md against the built pardsim binary.
+
+Two assertions:
+  1. The fenced block after the `help-output` marker in docs/CLI.md is
+     byte-identical to the live `pardsim --help` output.
+  2. Every `--flag` the binary reports also appears in the prose part of
+     the doc (the reference tables), so a new flag can't hide in the
+     transcript alone.
+
+Usage: check_cli_docs.py <path/to/CLI.md> <path/to/pardsim>
+Exit 0 when in sync; exit 1 with a unified diff / missing-flag list.
+"""
+
+import difflib
+import re
+import subprocess
+import sys
+
+MARKER = "<!-- help-output"
+
+
+def extract_transcript(doc_text):
+    """Return (prose, transcript) split at the help-output fenced block."""
+    marker_at = doc_text.find(MARKER)
+    if marker_at < 0:
+        sys.exit("docs/CLI.md: missing '%s' marker" % MARKER)
+    fence_open = doc_text.find("```text\n", marker_at)
+    if fence_open < 0:
+        sys.exit("docs/CLI.md: no ```text fence after the help-output marker")
+    body_at = fence_open + len("```text\n")
+    fence_close = doc_text.find("\n```", body_at)
+    if fence_close < 0:
+        sys.exit("docs/CLI.md: unterminated help-output fence")
+    prose = doc_text[:marker_at]
+    transcript = doc_text[body_at : fence_close + 1]
+    return prose, transcript
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: check_cli_docs.py <CLI.md> <pardsim>")
+    doc_path, binary = sys.argv[1], sys.argv[2]
+
+    with open(doc_path, encoding="utf-8") as f:
+        prose, transcript = extract_transcript(f.read())
+
+    run = subprocess.run(
+        [binary, "--help"], capture_output=True, text=True, timeout=60
+    )
+    help_text = run.stdout
+    if not help_text.startswith("usage:"):
+        sys.exit("%s --help produced no usage text (exit %d)" % (binary, run.returncode))
+
+    failed = False
+    if transcript != help_text:
+        print("docs/CLI.md transcript is out of sync with `pardsim --help`:")
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                transcript.splitlines(keepends=True),
+                help_text.splitlines(keepends=True),
+                fromfile="docs/CLI.md (help-output block)",
+                tofile="pardsim --help",
+            )
+        )
+        failed = True
+
+    flags = sorted(set(re.findall(r"^  (--[a-z][a-z0-9-]*) ", help_text, re.M)))
+    missing = [f for f in flags if "`%s`" % f not in prose]
+    if missing:
+        print("flags present in --help but absent from the docs/CLI.md tables:")
+        for f in missing:
+            print("  " + f)
+        failed = True
+
+    if failed:
+        print("\nregenerate the transcript with `pardsim --help` and document "
+              "new flags in the tables above it")
+        sys.exit(1)
+    print("docs/CLI.md in sync: %d flags documented" % len(flags))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@
 
 #include "pipeline/apps.h"
 #include "pipeline/pipeline_spec.h"
+#include "pipeline/tenant_spec.h"
 
 namespace {
 
@@ -51,6 +52,25 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%s, %d modules)\n", path.c_str(), spec.app_name().c_str(),
                 spec.NumModules());
+  }
+  // The reference multi-tenant mix (pardsim --tenants; round-tripped by
+  // tests/configs_test.cc like the pipeline specs above).
+  {
+    const std::string path = out_dir + "/tenants_mixed.json";
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s (does %s/ exist?)\n", path.c_str(),
+                   out_dir.c_str());
+      return 1;
+    }
+    const auto catalog = pard::MakeReferenceTenantCatalog();
+    out << pard::TenantCatalogToJson(catalog).Dump(2) << "\n";
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "write to %s failed\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu tenants)\n", path.c_str(), catalog.size());
   }
   return 0;
 }

@@ -29,6 +29,7 @@
 #include "pipeline/apps.h"
 #include "pipeline/backend_profile.h"
 #include "pipeline/pipeline_spec.h"
+#include "pipeline/tenant_spec.h"
 #include "resilience/chaos.h"
 #include "runtime/backend_fleet.h"
 
@@ -67,8 +68,21 @@ pard::FlagSet BuildFlags() {
                 "start, capped at the serving thread budget)");
   flags.AddString("backend-grades", "",
                   "comma-separated speed grades composing a heterogeneous backend "
-                  "catalog (e.g. 1.0,0.5); workers draw grades round-robin. "
-                  "Conflicts with a pipeline that already declares backends");
+                  "catalog (e.g. 1.0,0.5); each grade takes an optional @cost "
+                  "suffix in cost-units/s (e.g. 1.0@3.5,0.5@1.0; default cost 1). "
+                  "Workers draw grades round-robin, or by best speed-per-cost "
+                  "with --cost-aware. Conflicts with a pipeline that already "
+                  "declares backends");
+  flags.AddBool("cost-aware", false,
+                "provision each scale-up against the cheapest effective backend "
+                "grade (argmax of effective speed / cost_per_s) instead of "
+                "round-robin; both substrates");
+  flags.AddString("tenants", "",
+                  "path to a {\"tenants\": [...]} JSON catalog (see "
+                  "configs/tenants_mixed.json); requests are hash-assigned to "
+                  "tenants, admission maximizes weighted goodput, and the "
+                  "summary/JSON gain a per-tenant block. Conflicts with "
+                  "--shards > 1");
   flags.AddString("fault-schedule", "",
                   "deterministic fleet disturbances: comma-separated "
                   "<at_s>:<module>:<kill|add>:<count> events (e.g. "
@@ -237,6 +251,28 @@ int main(int argc, char** argv) {
     }
     config.custom_spec = std::move(spec);
   }
+  config.runtime.cost_aware_provisioning = flags.GetBool("cost-aware");
+  if (!flags.GetString("tenants").empty()) {
+    FILE* f = std::fopen(flags.GetString("tenants").c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", flags.GetString("tenants").c_str());
+      return 2;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    try {
+      config.runtime.tenants = pard::ParseTenantCatalogText(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--tenants %s: %s\n", flags.GetString("tenants").c_str(),
+                   e.what());
+      return 2;
+    }
+  }
 
   config.obs.trace_out = flags.GetString("trace-out");
   config.obs.trace_sample_rate = flags.GetDouble("trace-sample-rate");
@@ -262,6 +298,10 @@ int main(int argc, char** argv) {
       (!config.obs.trace_out.empty() || !config.obs.metrics_out.empty())) {
     std::fprintf(stderr,
                  "--trace-out/--metrics-out are not supported with --shards > 1\n");
+    return 2;
+  }
+  if (shards > 1 && !config.runtime.tenants.empty()) {
+    std::fprintf(stderr, "--tenants is not supported with --shards > 1\n");
     return 2;
   }
   const std::int64_t jobs_flag = flags.GetInt("jobs");
@@ -330,6 +370,8 @@ int main(int argc, char** argv) {
                              config.runtime.resilience.hang_budget > 0 ||
                              config.runtime.resilience.staleness_budget > 0;
 
+  const bool tenants_on = !config.runtime.tenants.empty();
+
   if (flags.GetBool("json")) {
     pard::JsonValue report = pard::BuildRunReport(a);
     if (resilience_on) {
@@ -339,6 +381,19 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(result.watchdog_recoveries);
       resilience["stale_fallbacks"] = static_cast<std::int64_t>(result.stale_fallbacks);
       report.AsObject()["resilience"] = std::move(resilience);
+    }
+    if (tenants_on) {
+      report.AsObject()["tenants"] =
+          pard::BuildTenantReport(a, config.runtime.tenants);
+    }
+    // The cost block only appears when the run opted into tenancy or
+    // cost-aware provisioning, keeping legacy JSON reports byte-stable.
+    if (tenants_on || config.runtime.cost_aware_provisioning) {
+      pard::JsonObject cost;
+      cost["fleet_cost"] = result.fleet_cost;
+      cost["weighted_goodput_per_cost"] =
+          result.fleet_cost > 0.0 ? a.WeightedGoodCount() / result.fleet_cost : 0.0;
+      report.AsObject()["cost"] = std::move(cost);
     }
     std::printf("%s\n", report.Dump(2).c_str());
     return 0;
@@ -385,6 +440,34 @@ int main(int argc, char** argv) {
       std::printf("  %-20s %8zu  (%.1f%%)\n",
                   pard::DropReasonName(static_cast<pard::DropReason>(r)), count,
                   100.0 * static_cast<double>(count) / static_cast<double>(total_dropped));
+    }
+  }
+  if (tenants_on || config.runtime.cost_aware_provisioning) {
+    std::printf("fleet cost     %10.1f cost-units  (weighted goodput/cost %.4f)\n",
+                result.fleet_cost,
+                result.fleet_cost > 0.0 ? a.WeightedGoodCount() / result.fleet_cost
+                                        : 0.0);
+  }
+  if (tenants_on) {
+    std::printf("tenants        (%zu configured; weighted normalized goodput %.3f)\n",
+                config.runtime.tenants.size(), a.WeightedNormalizedGoodput());
+    const auto breakdown = a.PerTenant();
+    std::printf("  %-12s %6s %6s %8s %8s %7s %7s\n", "name", "weight", "share",
+                "total", "good", "admit%", "ngood");
+    for (std::size_t t = 0; t < config.runtime.tenants.size(); ++t) {
+      const pard::TenantSpec& spec = config.runtime.tenants[t];
+      const pard::TenantBreakdown b =
+          t < breakdown.size() ? breakdown[t] : pard::TenantBreakdown{};
+      const std::size_t shed =
+          b.drop_reasons.empty()
+              ? 0
+              : b.drop_reasons[static_cast<std::size_t>(pard::DropReason::kTenantShed)];
+      const double admit =
+          b.total == 0 ? 1.0
+                       : 1.0 - static_cast<double>(shed) / static_cast<double>(b.total);
+      std::printf("  %-12s %6.1f %6.2f %8zu %8zu %6.1f%% %7.3f\n", spec.name.c_str(),
+                  spec.weight, spec.share, b.total, b.good, 100.0 * admit,
+                  b.NormalizedGoodput());
     }
   }
   return 0;
