@@ -231,6 +231,123 @@ void BM_BrokerDecisionEpochAdvance(benchmark::State& state) {
 }
 BENCHMARK(BM_BrokerDecisionEpochAdvance);
 
+// Cold epoch with a REAL input change: each iteration publishes a module
+// state whose batch duration actually moved (EpochAdvance republishes an
+// identical state), then pays one full estimate refresh. This is the
+// decision-latency worst case the vectorized sweet-spot kernel (batched
+// draws + nth_element selection, ISSUE 10) attacks; the gate pins it
+// against the pre-vectorization epoch-advance cost.
+void BM_BrokerDecisionColdEpoch(benchmark::State& state) {
+  const PipelineSpec lv = MakeLiveVideo();
+  Rng rng(8);
+  StateBoard board = SampledBoard(&rng);
+  EstimatorOptions options;
+  LatencyEstimator est(&lv, &board, options, Rng(9));
+  bool toggle = false;
+  for (auto _ : state) {
+    toggle = !toggle;
+    ModuleState s;
+    s.module_id = 0;
+    s.batch_duration = (toggle ? 12 : 10) * kUsPerMs;
+    board.Publish(std::move(s));  // A real input change, not just a version bump.
+    benchmark::DoNotOptimize(est.EstimateSubsequent(0));
+  }
+}
+BENCHMARK(BM_BrokerDecisionColdEpoch);
+
+// --- Control sync + incremental refresh --------------------------------------
+
+// One full serve-mode control sync per iteration — publish 16 warm module
+// states (2 000-sample reservoirs), OnSync, the incremental estimator
+// refresh, view rebuild and snapshot swap — with the LAST `dirty` modules'
+// batch duration actually changed each epoch. Before ISSUE 10 every epoch
+// re-ran the full Monte-Carlo aggregation per module regardless of what
+// moved (~730 us on the reference container at any dirty count); the
+// refresh now re-draws only the dirty modules' sample buffers and rebuilds
+// path sums as element-wise adds. Flipping the tail of the chain is the
+// conservative cut: module 15 sits on every downstream path, so dirty=1
+// still recomputes 15 of 16 cache entries — the saving measured here is
+// redraw work, not recompute skips. The 1/4/16 legs are separate named
+// benchmarks so bench_compare can gate each against bench/BENCH_PR10.json.
+struct SyncRefreshHarness {
+  SyncRefreshHarness() : spec(MakeRefreshChain()), board(16) {
+    control = std::make_unique<ControlPlane>(&spec, &policy, &board,
+                                             ControlPlane::Options());
+    Rng rng(17);
+    for (int i = 0; i < 16; ++i) {
+      ModuleState s;
+      s.module_id = i;
+      s.batch_duration = 10 * kUsPerMs;
+      s.avg_queue_delay = 1500.0;
+      s.batch_size = 4;
+      s.wait_samples.reserve(2000);
+      for (int j = 0; j < 2000; ++j) {
+        s.wait_samples.push_back(rng.Uniform(0.0, 10000.0));
+      }
+      std::sort(s.wait_samples.begin(), s.wait_samples.end());
+      states.push_back(std::move(s));
+    }
+    control->Sync(states, sync_t);
+  }
+
+  static PipelineSpec MakeRefreshChain() {
+    std::vector<ModuleSpec> modules;
+    for (int i = 0; i < 16; ++i) {
+      ModuleSpec m;
+      m.id = i;
+      m.model = "eye_tracking";
+      if (i > 0) {
+        m.pres.push_back(i - 1);
+      }
+      if (i < 15) {
+        m.subs.push_back(i + 1);
+      }
+      modules.push_back(std::move(m));
+    }
+    return PipelineSpec("chain16", MsToUs(1000), std::move(modules));
+  }
+
+  PipelineSpec spec;
+  StateBoard board;
+  PardPolicy policy;
+  std::unique_ptr<ControlPlane> control;
+  std::vector<ModuleState> states;
+  SimTime sync_t = kUsPerSec;
+};
+
+void RunControlSyncRefresh(benchmark::State& state, int dirty_modules) {
+  SyncRefreshHarness harness;
+  bool toggle = false;
+  for (auto _ : state) {
+    toggle = !toggle;
+    const Duration d = (toggle ? 12 : 10) * kUsPerMs;
+    for (int m = 16 - dirty_modules; m < 16; ++m) {
+      harness.states[static_cast<std::size_t>(m)].batch_duration = d;
+    }
+    harness.sync_t += kUsPerSec;
+    const ControlPlane::SyncStats stats =
+        harness.control->Sync(harness.states, harness.sync_t);
+    benchmark::DoNotOptimize(stats.refreshed);
+  }
+  state.counters["dirty_modules"] =
+      benchmark::Counter(static_cast<double>(dirty_modules));
+}
+
+void BM_ControlSyncRefresh1Modules(benchmark::State& state) {
+  RunControlSyncRefresh(state, 1);
+}
+BENCHMARK(BM_ControlSyncRefresh1Modules)->Unit(benchmark::kMicrosecond);
+
+void BM_ControlSyncRefresh4Modules(benchmark::State& state) {
+  RunControlSyncRefresh(state, 4);
+}
+BENCHMARK(BM_ControlSyncRefresh4Modules)->Unit(benchmark::kMicrosecond);
+
+void BM_ControlSyncRefresh16Modules(benchmark::State& state) {
+  RunControlSyncRefresh(state, 16);
+}
+BENCHMARK(BM_ControlSyncRefresh16Modules)->Unit(benchmark::kMicrosecond);
+
 void BM_StateSyncPayload(benchmark::State& state) {
   // Serializes the compact module state the paper exchanges once per second
   // (queueing delay, batch size, throughput, drop rate, wait distribution

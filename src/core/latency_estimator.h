@@ -32,18 +32,44 @@
 // publishes a new epoch, matching the paper's asynchronous-update cost model
 // (§5.4) — between syncs a broker decision is a cache read.
 //
+// Two refresh modes share the epoch cache:
+//
+//   LAZY (simulator, locked serve fallback): the first Estimate* call after
+//   a board publish recomputes the touched module from the shared RNG
+//   stream, module-major/sample-minor — the exact historical draw order, so
+//   homogeneous sim goldens stay bit-identical. The Monte-Carlo kernel is
+//   vectorized (batched per-module draws into reused scratch, nth_element
+//   quantile selection, zero steady-state allocations) but reproduces the
+//   old sort-based interpolation bit-for-bit (estimator_test parity grid).
+//
+//   INCREMENTAL (serve mode): RefreshAll() re-derives the whole cache from
+//   per-module sample buffers, each drawn from its own forked RNG stream
+//   (Fork("est:<module>")) and re-drawn only when that module's estimator
+//   inputs actually changed since the last call (StateBoard::ModuleVersion).
+//   A path's Monte-Carlo samples become element-wise sums of its modules'
+//   buffers — common random numbers across entries, independent streams
+//   across modules — so a sync where 2 of 16 modules moved pays 2 modules
+//   of draws plus cheap vector adds. Results depend only on each module's
+//   dirty-event count, never on thread interleaving, so fanning the work
+//   across a ThreadPool is run-to-run deterministic at any thread count.
+//   Entries refreshed this way are stamped with the board version, so later
+//   lazy reads are warm hits; the shared RNG stream is never consumed. The
+//   incremental estimates differ numerically from the lazy ones (different
+//   streams) — statistically equivalent, which is why sim never calls this.
+//
 // Concurrency contract: NOT internally synchronized — every Estimate* call
 // may mutate the epoch cache and advances the Monte-Carlo RNG, and a board
 // publish invalidates entries mid-flight. In the simulator one event loop
 // serializes everything. In the serving runtime the estimator is touched
-// from exactly one place: the control thread's Sync(), under the control
-// lock, where the policy refreshes the epoch cache (EstimateSubsequent /
-// PathEstimates) and copies the per-module estimates into the immutable
-// PolicyView it hands to ControlPlane's snapshot cell. Broker threads then
-// read those COPIES lock-free for the whole sync interval and never call
-// into the estimator at all. (A policy that opts out of snapshotting is
-// still safe: ControlPlane's locked fallback path serializes its estimator
-// use behind the control mutex, the pre-snapshot contract.)
+// from exactly one place: the control thread's Sync() — off the control
+// lock on the snapshot path, since brokers only ever read the immutable
+// PolicyView copies published through ControlPlane's snapshot cell and
+// never call into the estimator at all. RefreshAll's internal ParallelFor
+// phases touch disjoint per-module buffers, then disjoint per-entry cache
+// slots (with a barrier between the phases), so the fan-out needs no locks
+// either. (A policy that opts out of snapshotting is still safe:
+// ControlPlane's locked fallback path serializes its estimator use behind
+// the control mutex, the pre-snapshot contract.)
 #ifndef PARD_CORE_LATENCY_ESTIMATOR_H_
 #define PARD_CORE_LATENCY_ESTIMATOR_H_
 
@@ -58,6 +84,8 @@
 #include "stats/empirical_distribution.h"
 
 namespace pard {
+
+class ThreadPool;
 
 // Default Monte-Carlo draw count — the single source of truth for
 // EstimatorOptions, PolicyParams and the pardsim --mc-samples flag.
@@ -97,6 +125,21 @@ class LatencyEstimator {
   // L_sub from module k (exclusive) to the sink; max over DAG paths.
   Duration EstimateSubsequent(int module_id);
 
+  // Incremental whole-cache refresh from per-module forked sample buffers
+  // (see the header comment's INCREMENTAL mode). Re-draws only the buffers
+  // of modules whose estimator inputs changed since the last call, then
+  // recomputes only the cache entries whose downstream modules moved;
+  // every entry (recomputed or skipped) leaves stamped at the current board
+  // version, so subsequent Estimate*/PathEstimates reads are warm hits.
+  // `pool` fans both phases across its threads; nullptr runs them inline.
+  // The result is identical at any thread count. Serve-mode only: the
+  // forked streams diverge from the lazy path's shared-RNG draws.
+  struct RefreshStats {
+    int refreshed = 0;  // cache entries recomputed
+    int skipped = 0;    // cache entries reused (no downstream input moved)
+  };
+  RefreshStats RefreshAll(ThreadPool* pool);
+
   // Request-aware variant for dynamic-path pipelines (§5.2 future work):
   // when the request carries branch choices (path prediction), only the DAG
   // paths consistent with its chosen branches are considered, eliminating
@@ -130,7 +173,11 @@ class LatencyEstimator {
   // Uncached quantile computation. EstimatePath (already deduplicated per
   // module/epoch by Refresh) calls this directly so the memo layer cannot
   // perturb its RNG draw sequence — runs stay bit-identical to the
-  // pre-memoization kernel.
+  // pre-memoization kernel. Vectorized: per-module draws are batched into
+  // the reused scratch_sums_ buffer in the exact historical order
+  // (module-major, sample-minor) and the quantile is selected with
+  // nth_element instead of a full sort — bit-identical by construction
+  // (estimator_test's VectorizedQuantileParityGrid pins it).
   Duration ComputeWaitQuantile(const std::vector<int>& path, double lambda);
 
   const PipelineSpec* spec_;
@@ -146,9 +193,35 @@ class LatencyEstimator {
     std::uint64_t board_version = ~0ULL;
     std::vector<Duration> per_path;
     Duration max_value = 0;
+    // --- RefreshAll (incremental mode) state ---
+    // Union of modules on this entry's downstream paths, resolved once.
+    std::vector<int> dep_modules;
+    // Sum of the dep modules' StateBoard::ModuleVersion at the last
+    // incremental recompute. Versions are monotone, so the sum moves iff
+    // any dependency moved; ~0 forces the first recompute.
+    std::uint64_t dep_signature = ~0ULL;
+    // Reused per-entry path-sum scratch; entries refresh on different pool
+    // threads, so the scratch lives here rather than on the estimator.
+    std::vector<double> scratch;
   };
   const CacheEntry& Refresh(int module_id);
+  void RefreshEntryFromBuffers(int module_id);
   std::vector<CacheEntry> cache_;
+
+  // Per-module Monte-Carlo sample buffer for the incremental mode: mc_samples
+  // draws from the module's wait distribution, re-drawn from the module's own
+  // forked stream only when its estimator inputs change.
+  struct ModuleBuffer {
+    Rng rng{1};
+    std::uint64_t input_version = ~0ULL;
+    std::vector<double> draws;
+  };
+  void EnsureRefreshState();
+  std::vector<ModuleBuffer> buffers_;  // Empty until the first RefreshAll.
+
+  // Reused mode-A scratch: path sums for the vectorized lazy kernel. Not
+  // touched by RefreshAll, whose per-entry scratch lives in CacheEntry.
+  std::vector<double> scratch_sums_;
 
   // Warm-epoch memo for explicit-path quantile queries. Linear scan: the
   // distinct (path, lambda) pairs in play per epoch are the pipeline's

@@ -148,6 +148,14 @@ void PardPolicy::OnSync(SimTime now) {
   }
 }
 
+PolicyRefreshStats PardPolicy::RefreshEstimates(ThreadPool* pool) {
+  if (options_.budget_scope != PardOptions::BudgetScope::kEndToEnd || options_.backward_only) {
+    return {};
+  }
+  const LatencyEstimator::RefreshStats stats = estimator_->RefreshAll(pool);
+  return {stats.refreshed, stats.skipped};
+}
+
 std::shared_ptr<const PolicyView> PardPolicy::MakeView() {
   PARD_CHECK(spec_ != nullptr);
   auto view = std::make_shared<PardView>();

@@ -63,6 +63,11 @@ class PardPolicy : public DropPolicy {
   bool ShouldDrop(const AdmissionContext& ctx) override;
   PopSide ChoosePopSide(int module_id, SimTime now) override;
   void OnSync(SimTime now) override;
+  // Incremental serve-mode refresh (LatencyEstimator::RefreshAll): only
+  // modules whose published inputs moved are re-drawn, from per-module
+  // forked streams, optionally fanned across `pool`. Split scopes and
+  // PARD-back never consult the estimator, so they report all-skipped.
+  PolicyRefreshStats RefreshEstimates(ThreadPool* pool) override;
   // Immutable decision snapshot for the serving control plane: per-module
   // L_sub (max and per-path) from the estimator's freshly-refreshed epoch
   // cache, the current priority sides and split budgets. Broker decisions

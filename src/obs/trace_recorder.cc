@@ -64,6 +64,8 @@ const char* EventName(const TraceEvent& ev) {
       }
     case TraceEventKind::kWatchdog:
       return "watchdog:kill";
+    case TraceEventKind::kControlRefresh:
+      return "control_refresh";
   }
   return "event";
 }
@@ -71,7 +73,8 @@ const char* EventName(const TraceEvent& ev) {
 bool IsSpan(TraceEventKind kind) {
   return kind == TraceEventKind::kQueueSpan ||
          kind == TraceEventKind::kExecSpan ||
-         kind == TraceEventKind::kBatchExec;
+         kind == TraceEventKind::kBatchExec ||
+         kind == TraceEventKind::kControlRefresh;
 }
 
 // Exported pid for control-plane / fleet events that belong to no module.

@@ -51,6 +51,8 @@ enum class TraceEventKind : std::uint8_t {
   kRetry = 8,      // instant: request re-enqueued after worker failure; arg0 = attempt
   kChaos = 9,      // instant: chaos event applied; arg0 = ChaosKind, arg1 = count|duration
   kWatchdog = 10,  // instant: watchdog force-failed hung workers; arg0 = count
+  kControlRefresh = 11,  // span: control Sync incl. estimator refresh; dur =
+                         // wall us, arg0 = entries refreshed, arg1 = skipped
 };
 
 // POD event record. `ts`/`dur` are virtual-time microseconds (Chrome trace

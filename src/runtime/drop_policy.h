@@ -24,6 +24,14 @@
 namespace pard {
 
 class Rng;
+class ThreadPool;
+
+// What a policy's estimator refresh actually did (see
+// DropPolicy::RefreshEstimates); surfaced as control.refresh_* metrics.
+struct PolicyRefreshStats {
+  int refreshed = 0;
+  int skipped = 0;
+};
 
 // Everything the Request Broker knows when deciding on one request.
 struct AdmissionContext {
@@ -115,6 +123,19 @@ class DropPolicy {
 
   // Invoked right after every state-board sync.
   virtual void OnSync(SimTime now) { (void)now; }
+
+  // Serve-mode estimator refresh, invoked by the control plane between
+  // OnSync() and MakeView() on its lock-free sync path. Policies with an
+  // epoch-cached estimator refresh it incrementally here (PARD fans
+  // dirty-module work across `pool`; nullptr = run inline) so the following
+  // MakeView() is pure cache reads. The default no-op keeps out-of-tree
+  // policies on the lazy refresh-inside-MakeView behavior. Never called by
+  // the simulator or the locked fallback path — results there must stay
+  // bit-identical to the lazy shared-stream draws.
+  virtual PolicyRefreshStats RefreshEstimates(ThreadPool* pool) {
+    (void)pool;
+    return {};
+  }
 
   // Builds an immutable decision snapshot of this policy's current state
   // (see PolicyView). The serving control plane calls this under its lock

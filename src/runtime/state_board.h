@@ -77,10 +77,25 @@ inline Duration EffectiveBatchDuration(const ModuleState& state) {
       std::llround(static_cast<double>(state.batch_duration) / state.mean_speed));
 }
 
+// True when `next` differs from `prev` in any field the latency estimator
+// actually reads: the queue-delay term, the effective batch duration
+// (batch_duration stretched by mean_speed) and the wait reservoir. The
+// vector compare early-exits on the first differing sample, so a module
+// with live traffic (whose reservoir shifts every sync) costs O(1) here;
+// the full O(M) compare is only paid by idle modules — exactly the ones
+// whose unchanged verdict lets the estimator skip an O(mc_samples) redraw.
+inline bool EstimatorInputsChanged(const ModuleState& prev, const ModuleState& next) {
+  return prev.avg_queue_delay != next.avg_queue_delay ||
+         prev.batch_duration != next.batch_duration ||
+         prev.mean_speed != next.mean_speed ||
+         prev.wait_samples != next.wait_samples;
+}
+
 class StateBoard {
  public:
   explicit StateBoard(int num_modules)
-      : states_(static_cast<std::size_t>(num_modules)) {
+      : states_(static_cast<std::size_t>(num_modules)),
+        module_versions_(static_cast<std::size_t>(num_modules), 0) {
     for (int i = 0; i < num_modules; ++i) {
       states_[static_cast<std::size_t>(i)].module_id = i;
     }
@@ -95,15 +110,30 @@ class StateBoard {
 
   void Publish(ModuleState state) {
     PARD_CHECK(state.module_id >= 0 && state.module_id < NumModules());
-    states_[static_cast<std::size_t>(state.module_id)] = std::move(state);
+    const std::size_t i = static_cast<std::size_t>(state.module_id);
     ++version_;
+    if (EstimatorInputsChanged(states_[i], state)) {
+      module_versions_[i] = version_;
+    }
+    states_[i] = std::move(state);
   }
 
   // Monotone counter bumped on every publish; estimator caches key on it.
   std::uint64_t Version() const { return version_; }
 
+  // Per-module dirty epoch: the global version at which this module's
+  // estimator-relevant inputs last changed (see EstimatorInputsChanged).
+  // A republish of identical inputs bumps Version() but not this, so
+  // incremental refreshes (LatencyEstimator::RefreshAll) can tell "a sync
+  // happened" apart from "this module actually moved".
+  std::uint64_t ModuleVersion(int module_id) const {
+    PARD_CHECK(module_id >= 0 && module_id < NumModules());
+    return module_versions_[static_cast<std::size_t>(module_id)];
+  }
+
  private:
   std::vector<ModuleState> states_;
+  std::vector<std::uint64_t> module_versions_;
   std::uint64_t version_ = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/lock_order.h"
+#include "exec/thread_pool.h"
 
 namespace pard {
 
@@ -18,6 +19,7 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
   PARD_CHECK(spec != nullptr && policy_ != nullptr && board_ != nullptr);
   PARD_CHECK(options.admission_shards >= 1);
   PARD_CHECK(options.staleness_budget >= 0);
+  PARD_CHECK(options.refresh_threads >= 0);
   policy_->Bind(spec, board_);
   purge_expired_ = policy_->PurgeExpired();
   Rng seeder(options.seed);
@@ -25,6 +27,10 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
     auto shard = std::make_unique<AdmissionShard>();
     shard->rng = seeder.Fork("admission-shard:" + std::to_string(i));
     shards_.push_back(std::move(shard));
+  }
+  if (options.parallel_refresh) {
+    refresh_pool_ =
+        std::make_unique<ThreadPool>(ThreadPool::ResolveJobs(options.refresh_threads));
   }
   // Replace the placeholder published at member construction with a real
   // snapshot (the policy is bound now, so it can build a view). Stamped at
@@ -38,13 +44,21 @@ ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBo
 ControlPlane::ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board)
     : ControlPlane(spec, policy, board, Options()) {}
 
+ControlPlane::~ControlPlane() = default;
+
 std::unique_ptr<const ControlSnapshot> ControlPlane::BuildSnapshot(SimTime now) {
   auto snap = std::make_unique<ControlSnapshot>();
   snap->board_version = board_->Version();
   snap->published_at = now;
   snap->states.reserve(static_cast<std::size_t>(board_->NumModules()));
   for (int id = 0; id < board_->NumModules(); ++id) {
-    snap->states.push_back(board_->Get(id));
+    // Scalars only — the wait reservoirs are estimator inputs already
+    // consumed by this point and no snapshot reader touches them (see the
+    // ControlSnapshot::states note).
+    ModuleState state = board_->Get(id);
+    state.wait_samples.clear();
+    state.wait_samples.shrink_to_fit();
+    snap->states.push_back(std::move(state));
   }
   snap->view = policy_->MakeView();
   return snap;
@@ -123,7 +137,30 @@ bool ControlPlane::AdmitAtModule(const Request& request, int module_id, SimTime 
   return policy_->AdmitAtModule(request, module_id, now);
 }
 
-void ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
+ControlPlane::SyncStats ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
+  SyncStats stats;
+  if (LockFree()) {
+    // Off-lock sync: when every broker decision reads published snapshots
+    // (LockFree()), the board and policy have exactly one mutating thread —
+    // this one — so the whole publish → OnSync → refresh → rebuild sequence
+    // needs no mutex. Brokers keep deciding against the previous snapshot
+    // until the single Publish() below swaps in the new one.
+    for (ModuleState& state : states) {
+      board_->Publish(std::move(state));
+    }
+    policy_->OnSync(now);
+    const PolicyRefreshStats refresh = policy_->RefreshEstimates(refresh_pool_.get());
+    stats.refreshed = refresh.refreshed;
+    stats.skipped = refresh.skipped;
+    stats.off_lock = true;
+    auto snap = BuildSnapshot(now);
+    // LockFree() implies the initial snapshot carried a view; a policy whose
+    // MakeView() goes null mid-run would silently flip brokers onto the
+    // locked path this sync no longer serializes with.
+    PARD_CHECK(snap->view != nullptr);
+    snapshot_.Publish(std::move(snap));
+    return stats;
+  }
   LockOrderGuard order(LockRank::kControl);
   std::lock_guard<std::mutex> lock(mu_);
   for (ModuleState& state : states) {
@@ -131,6 +168,7 @@ void ControlPlane::Sync(std::vector<ModuleState> states, SimTime now) {
   }
   policy_->OnSync(now);
   snapshot_.Publish(BuildSnapshot(now));
+  return stats;
 }
 
 }  // namespace pard

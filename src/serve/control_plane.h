@@ -16,12 +16,20 @@
 //   against the policy's immutable PolicyView. Decisions within one pin are
 //   mutually consistent: they all see the same sync's state.
 //
-//   WRITE PATH (cold, once per sync period): Sync() takes the control
-//   mutex, publishes the module states to the StateBoard, runs the policy's
-//   OnSync(), asks it for a fresh PolicyView (PARD refreshes its estimator
-//   epoch cache here — the Monte-Carlo work moves from first-decision-after-
-//   sync to the sync itself), and publishes the assembled snapshot. Retired
-//   snapshots are reclaimed once no reader pins them.
+//   WRITE PATH (cold, once per sync period): Sync() publishes the module
+//   states to the StateBoard, runs the policy's OnSync(), refreshes the
+//   policy's estimator incrementally (RefreshEstimates — only modules whose
+//   inputs moved are re-drawn, optionally fanned across the refresh pool),
+//   builds the next ControlSnapshot and publishes it with one SnapshotCell
+//   store. On the snapshot path ALL of that runs off the control mutex:
+//   when LockFree() holds, no broker ever takes mu_ or touches the
+//   board/policy (they only read published snapshots), and Sync has exactly
+//   one caller (the control thread) — so a slow refresh can no longer stall
+//   a single broker decision. Retired snapshots are reclaimed once no
+//   reader pins them. Policies without a view (and force_locked) keep the
+//   historical everything-under-mu_ sync, which also skips the incremental
+//   refresh — their estimates come from the lazy shared-stream draws,
+//   bit-identical to the pre-refactor behavior.
 //
 //   SHARDED RESIDUE: policies whose admission needs randomness (the DAGOR
 //   baseline's Bernoulli shed) draw from per-shard RNGs behind striped
@@ -55,6 +63,8 @@
 
 namespace pard {
 
+class ThreadPool;
+
 // One sync interval's frozen control state: the board states as published,
 // and the policy's immutable decision view (null when the policy opted out
 // of snapshotting).
@@ -64,6 +74,10 @@ struct ControlSnapshot {
   // snapshot). Lock-free readers compare it against the staleness budget to
   // detect a dead/stalled sync thread.
   SimTime published_at = 0;
+  // Scalar module states only: the wait reservoirs (up to 10k doubles per
+  // module) are estimator inputs consumed during Sync() and never read from
+  // a snapshot, so BuildSnapshot strips them instead of copying ~1 MB per
+  // sync interval.
   std::vector<ModuleState> states;
   std::shared_ptr<const PolicyView> view;
 };
@@ -84,6 +98,16 @@ class ControlPlane {
     // static rule instead of trusting a stale estimator (see the reader
     // implementations for the exact rules). 0 disables the check.
     Duration staleness_budget = 0;
+    // Fan the policy's incremental estimator refresh across a thread pool
+    // during Sync() (per-module forked RNG streams keep the result
+    // identical at any thread count). false = run the refresh inline on the
+    // control thread; the refresh itself stays incremental either way.
+    // Only consulted on the lock-free sync path — the locked fallback keeps
+    // the historical lazy refresh.
+    bool parallel_refresh = true;
+    // Refresh-pool threads; 0 = one per hardware thread
+    // (ThreadPool::ResolveJobs). Ignored unless parallel_refresh.
+    int refresh_threads = 0;
   };
 
   // `policy` and `board` must outlive the control plane. Binds the policy to
@@ -94,6 +118,7 @@ class ControlPlane {
   // Default options (no default argument: Options' member initializers are
   // not usable until the enclosing class is complete).
   ControlPlane(const PipelineSpec* spec, DropPolicy* policy, StateBoard* board);
+  ~ControlPlane();
 
   // --- Request Broker decisions (lock-free snapshot reads) ----------------
   bool ShouldDrop(const AdmissionContext& ctx);
@@ -103,9 +128,18 @@ class ControlPlane {
   // batch formation does not pin a snapshot just to re-read it.
   bool PurgeExpired() const { return purge_expired_; }
 
-  // State sync: publishes every module state, lets the policy react, then
-  // swaps in the next snapshot — one control-lock acquisition per period.
-  void Sync(std::vector<ModuleState> states, SimTime now);
+  // State sync: publishes every module state, lets the policy react,
+  // refreshes its estimator incrementally, then swaps in the next snapshot.
+  // Entirely off the control lock when LockFree() holds (see the WRITE PATH
+  // note above); one control-lock acquisition on the fallback path. Single
+  // caller only — the control thread owns both the board and the snapshot
+  // cell's writer side.
+  struct SyncStats {
+    int refreshed = 0;   // estimator cache entries recomputed
+    int skipped = 0;     // estimator cache entries reused unchanged
+    bool off_lock = false;  // true = snapshot path, mu_ never taken
+  };
+  SyncStats Sync(std::vector<ModuleState> states, SimTime now);
 
   // True when broker decisions run on the lock-free snapshot path.
   bool LockFree() const { return !force_locked_ && has_view_; }
@@ -124,7 +158,9 @@ class ControlPlane {
   };
 
   // Builds the snapshot for the current board/policy state, stamped with the
-  // publish time. Caller holds mu_ (or is the constructor).
+  // publish time. Caller is the control thread: either holding mu_ (locked
+  // fallback, constructor) or off-lock on the snapshot path, where the
+  // board/policy have no other readers or writers.
   std::unique_ptr<const ControlSnapshot> BuildSnapshot(SimTime now);
   // True when the staleness budget is enabled and `snap` is too old at
   // `now`; counts the fallback.
@@ -142,6 +178,10 @@ class ControlPlane {
   bool has_view_ = false;  // Written once in the constructor, then const.
   std::atomic<std::uint64_t> stale_fallbacks_{0};
   std::vector<std::unique_ptr<AdmissionShard>> shards_;
+  // Workers for the policy's incremental estimator refresh; null when
+  // Options::parallel_refresh is off (refresh runs inline on the control
+  // thread). Owned here so the pool outlives every Sync.
+  std::unique_ptr<ThreadPool> refresh_pool_;
   SnapshotCell<ControlSnapshot> snapshot_;
 };
 

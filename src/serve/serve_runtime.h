@@ -78,7 +78,8 @@
 
 namespace pard {
 
-class Counter;  // obs/metrics.h
+class Counter;          // obs/metrics.h
+class AtomicHistogram;  // obs/metrics.h
 
 class ServeRuntime {
  public:
@@ -248,6 +249,12 @@ class ServeRuntime {
   // lock-free, bumped outside the fate stripes like the fate counters.
   std::vector<Counter*> tenant_completed_;
   std::vector<Counter*> tenant_dropped_;
+  // Control-sync health: wall-clock Sync() duration (us) and what the
+  // incremental estimator refresh did each epoch. Bumped by the control
+  // thread only.
+  AtomicHistogram* sync_duration_hist_ = nullptr;
+  Counter* refresh_refreshed_counter_ = nullptr;
+  Counter* refresh_skipped_counter_ = nullptr;
   // Weighted ingress governor (null when options_.tenants is empty). The
   // control thread resyncs it at each snapshot publish; Inject reads it
   // lock-free.

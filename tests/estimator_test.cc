@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/irwin_hall.h"
 #include "core/latency_estimator.h"
+#include "exec/thread_pool.h"
 #include "pipeline/apps.h"
 #include "runtime/state_board.h"
 
@@ -297,6 +300,173 @@ TEST_P(SweetSpotConcentrationTest, FractionGrowsWithCascadeDepth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Depths, SweetSpotConcentrationTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// Chain pipeline of depth+1 modules (module 0 -> ... -> depth).
+PipelineSpec MakeChainSpec(int depth) {
+  std::vector<ModuleSpec> modules;
+  for (int i = 0; i <= depth; ++i) {
+    ModuleSpec m;
+    m.id = i;
+    m.model = "eye_tracking";
+    if (i > 0) {
+      m.pres.push_back(i - 1);
+    }
+    if (i < depth) {
+      m.subs.push_back(i + 1);
+    }
+    modules.push_back(std::move(m));
+  }
+  return PipelineSpec("deep", MsToUs(1000), std::move(modules));
+}
+
+// Board mixing both wait-sample regimes: even modules carry an observed
+// reservoir (sampled path), odd modules are empty (uniform fallback path).
+StateBoard MixedBoard(int n, Duration d, std::uint64_t seed) {
+  StateBoard board(n);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = d;
+    s.batch_size = 4;
+    s.avg_queue_delay = 1500.0;
+    if (i % 2 == 0) {
+      for (int j = 0; j < 257; ++j) {
+        s.wait_samples.push_back(rng.Uniform(0.0, static_cast<double>(d)));
+      }
+      std::sort(s.wait_samples.begin(), s.wait_samples.end());
+    }
+    board.Publish(std::move(s));
+  }
+  return board;
+}
+
+// The vectorized sweet-spot kernel (batched draws + nth_element selection,
+// ISSUE 10) must be bit-identical to the scalar reference — the preserved
+// AggregateWaitDistribution + EmpiricalDistribution::Quantile pipeline — for
+// every (path depth, lambda, mc_samples) cell, including the degenerate
+// single-sample and interpolation-heavy cases. Both estimators consume their
+// shared streams at the same rate (path.size() * mc draws per call), so each
+// cell compares draws from identical RNG states.
+TEST(LatencyEstimator, VectorizedQuantileParityGrid) {
+  const double lambdas[] = {0.0, 0.05, 0.1, 0.5, 0.9, 1.0};
+  for (int depth : {1, 2, 4, 8}) {
+    const PipelineSpec spec = MakeChainSpec(depth);
+    StateBoard board = MixedBoard(depth + 1, 10 * kUsPerMs, 99);
+    std::vector<int> path;
+    for (int i = 1; i <= depth; ++i) {
+      path.push_back(i);
+    }
+    for (int mc : {1, 2, 7, 64, 512}) {
+      EstimatorOptions options;
+      options.mc_samples = mc;
+      LatencyEstimator vectorized(&spec, &board, options, Rng(31).Fork("estimator"));
+      LatencyEstimator reference(&spec, &board, options, Rng(31).Fork("estimator"));
+      for (double lambda : lambdas) {
+        const Duration fast = vectorized.AggregateWaitQuantile(path, lambda);
+        const Duration slow = static_cast<Duration>(
+            std::llround(reference.AggregateWaitDistribution(path).Quantile(lambda)));
+        EXPECT_EQ(fast, slow) << "depth " << depth << " mc " << mc << " lambda " << lambda;
+      }
+    }
+  }
+}
+
+// ---- Incremental refresh (RefreshAll) -------------------------------------
+
+std::vector<ModuleState> ChainStates(int n, Duration d, double q_delay) {
+  std::vector<ModuleState> states;
+  for (int i = 0; i < n; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = d;
+    s.batch_size = 4;
+    s.avg_queue_delay = q_delay;
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+TEST(LatencyEstimator, RefreshAllSkipsEntriesWhoseInputsDidNotMove) {
+  const int n = 6;
+  const PipelineSpec spec = MakeChainSpec(n - 1);
+  StateBoard board(n);
+  for (ModuleState& s : ChainStates(n, 10 * kUsPerMs, 1000.0)) {
+    board.Publish(std::move(s));
+  }
+  LatencyEstimator est(&spec, &board, EstimatorOptions(), Rng(41).Fork("estimator"));
+
+  // First refresh computes everything.
+  LatencyEstimator::RefreshStats stats = est.RefreshAll(nullptr);
+  EXPECT_EQ(stats.refreshed, n);
+  EXPECT_EQ(stats.skipped, 0);
+
+  // Nothing published since: all skipped.
+  stats = est.RefreshAll(nullptr);
+  EXPECT_EQ(stats.refreshed, 0);
+  EXPECT_EQ(stats.skipped, n);
+
+  // Re-publishing identical estimator inputs must not dirty anything.
+  for (ModuleState& s : ChainStates(n, 10 * kUsPerMs, 1000.0)) {
+    board.Publish(std::move(s));
+  }
+  stats = est.RefreshAll(nullptr);
+  EXPECT_EQ(stats.refreshed, 0);
+  EXPECT_EQ(stats.skipped, n);
+
+  // Change only the sink's batch duration: every upstream entry depends on
+  // it, but the sink's own (empty) downstream set does not.
+  ModuleState sink;
+  sink.module_id = n - 1;
+  sink.batch_duration = 20 * kUsPerMs;
+  sink.batch_size = 4;
+  sink.avg_queue_delay = 1000.0;
+  const Duration before = est.EstimateSubsequent(0);
+  board.Publish(std::move(sink));
+  stats = est.RefreshAll(nullptr);
+  EXPECT_EQ(stats.refreshed, n - 1);
+  EXPECT_EQ(stats.skipped, 1);
+  EXPECT_GT(est.EstimateSubsequent(0), before);
+}
+
+TEST(LatencyEstimator, RefreshAllDeterministicAcrossThreadCounts) {
+  // Per-module forked streams make the refresh a deterministic function of
+  // each module's dirty-event count — the pooled fan-out must reproduce the
+  // serial refresh exactly, round after round, under partial dirtiness.
+  const int n = 8;
+  const PipelineSpec spec = MakeChainSpec(n - 1);
+  StateBoard board_serial(n);
+  StateBoard board_pooled(n);
+  LatencyEstimator serial(&spec, &board_serial, EstimatorOptions(),
+                          Rng(77).Fork("estimator"));
+  LatencyEstimator pooled(&spec, &board_pooled, EstimatorOptions(),
+                          Rng(77).Fork("estimator"));
+  ThreadPool pool(4);
+  for (int round = 0; round < 4; ++round) {
+    // Rounds dirty a shrinking suffix of the chain (all, then last 3, 2, 1).
+    const int first_dirty = round == 0 ? 0 : n - 4 + round;
+    for (int m = first_dirty; m < n; ++m) {
+      ModuleState s;
+      s.module_id = m;
+      s.batch_duration = (10 + 2 * round) * kUsPerMs;
+      s.batch_size = 4;
+      s.avg_queue_delay = 500.0 * (round + 1);
+      ModuleState copy = s;
+      board_serial.Publish(std::move(s));
+      board_pooled.Publish(std::move(copy));
+    }
+    const LatencyEstimator::RefreshStats a = serial.RefreshAll(nullptr);
+    const LatencyEstimator::RefreshStats b = pooled.RefreshAll(&pool);
+    EXPECT_EQ(a.refreshed, b.refreshed) << round;
+    EXPECT_EQ(a.skipped, b.skipped) << round;
+    for (int m = 0; m < n; ++m) {
+      EXPECT_EQ(serial.EstimateSubsequent(m), pooled.EstimateSubsequent(m))
+          << "round " << round << " module " << m;
+      EXPECT_EQ(serial.PathEstimates(m), pooled.PathEstimates(m))
+          << "round " << round << " module " << m;
+    }
+  }
+}
 
 TEST(LatencyEstimator, HeterogeneousFleetStretchesExecAndWaitTerms) {
   // A fleet averaging half the baseline speed (mean_speed 0.5) doubles the

@@ -30,6 +30,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/time_types.h"
+#include "core/pard_policy.h"
 #include "exec/thread_pool.h"
 #include "harness/experiment.h"
 #include "jsonio/json.h"
@@ -37,6 +38,9 @@
 #include "pipeline/apps.h"
 #include "pipeline/backend_profile.h"
 #include "runtime/backend_fleet.h"
+#include "runtime/drop_policy.h"
+#include "runtime/state_board.h"
+#include "serve/control_plane.h"
 #include "serve/load_generator.h"
 #include "serve/serve_clock.h"
 #include "serve/serve_options.h"
@@ -571,6 +575,140 @@ TEST(ServeRuntime, DynamicPathsServeTerminalUnderBursts) {
   for (const RequestPtr& req : result.analysis->requests()) {
     ASSERT_TRUE(req->Terminal());
   }
+}
+
+// ---- Off-lock sync + parallel refresh (ISSUE 10) ---------------------------
+
+std::vector<ModuleState> RefreshWarmStates(int n, int round, Rng* rng) {
+  std::vector<ModuleState> states;
+  for (int i = 0; i < n; ++i) {
+    ModuleState s;
+    s.module_id = i;
+    s.batch_duration = (8 + round) * kUsPerMs;
+    s.batch_size = 4;
+    s.avg_queue_delay = 1000.0 + 100.0 * round;
+    s.load_factor = 0.7;
+    for (int j = 0; j < 256; ++j) {
+      s.wait_samples.push_back(rng->Uniform(0.0, 12000.0));
+    }
+    std::sort(s.wait_samples.begin(), s.wait_samples.end());
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+// Per-module forked RNG streams make the refreshed estimates a deterministic
+// function of the Sync sequence, independent of the refresh pool's thread
+// count: every broker decision after the same syncs must be identical.
+TEST(ControlPlaneRefresh, ParallelRefreshDeterministicAcrossThreadCounts) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board_1(lv.NumModules());
+  StateBoard board_4(lv.NumModules());
+  PardPolicy policy_1;
+  PardPolicy policy_4;
+  ControlPlane::Options opt_1;
+  opt_1.refresh_threads = 1;
+  ControlPlane::Options opt_4;
+  opt_4.refresh_threads = 4;
+  ControlPlane plane_1(&lv, &policy_1, &board_1, opt_1);
+  ControlPlane plane_4(&lv, &policy_4, &board_4, opt_4);
+  ASSERT_TRUE(plane_1.LockFree());
+  ASSERT_TRUE(plane_4.LockFree());
+
+  Rng rng_1(55);
+  Rng rng_4(55);
+  for (int round = 0; round < 3; ++round) {
+    const SimTime now = (round + 1) * kUsPerSec;
+    const ControlPlane::SyncStats a =
+        plane_1.Sync(RefreshWarmStates(lv.NumModules(), round, &rng_1), now);
+    const ControlPlane::SyncStats b =
+        plane_4.Sync(RefreshWarmStates(lv.NumModules(), round, &rng_4), now);
+    EXPECT_TRUE(a.off_lock);
+    EXPECT_TRUE(b.off_lock);
+    EXPECT_EQ(a.refreshed, b.refreshed) << round;
+    EXPECT_EQ(a.skipped, b.skipped) << round;
+
+    Request req;
+    req.id = 1;
+    req.slo = lv.slo();
+    req.sent = now;
+    req.deadline = req.sent + req.slo;
+    req.hops.resize(static_cast<std::size_t>(lv.NumModules()));
+    for (int m = 0; m < lv.NumModules(); ++m) {
+      EXPECT_EQ(policy_1.estimator()->EstimateSubsequent(m),
+                policy_4.estimator()->EstimateSubsequent(m))
+          << "round " << round << " module " << m;
+      for (Duration age = 0; age <= req.slo; age += 10 * kUsPerMs) {
+        AdmissionContext ctx;
+        ctx.request = &req;
+        ctx.module_id = m;
+        ctx.now = now + age;
+        ctx.batch_start = now + age;
+        ctx.batch_duration = 10 * kUsPerMs;
+        ctx.batch_size = 4;
+        EXPECT_EQ(plane_1.ShouldDrop(ctx), plane_4.ShouldDrop(ctx))
+            << "round " << round << " module " << m << " age " << age;
+      }
+    }
+  }
+}
+
+// TSan hammer for the off-lock publication: broker threads decide against
+// published snapshots while the control thread runs repeated Syncs — board
+// publish, OnSync, pooled estimator refresh and snapshot swap all happen
+// with no control mutex. A TSan-clean pass pins the single-writer contract.
+TEST(ControlPlaneRefresh, OffLockSyncPublishesCleanlyUnderConcurrentReaders) {
+  const PipelineSpec lv = MakeLiveVideo();
+  StateBoard board(lv.NumModules());
+  PardPolicy policy;
+  ControlPlane::Options options;
+  options.refresh_threads = 2;
+  ControlPlane plane(&lv, &policy, &board, options);
+  ASSERT_TRUE(plane.LockFree());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> decisions{0};
+  WorkerGroup readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.Spawn([&, t]() {
+      Request req;
+      req.id = static_cast<std::uint64_t>(t) + 1;
+      req.slo = lv.slo();
+      req.hops.resize(static_cast<std::size_t>(lv.NumModules()));
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int m = 0; m < lv.NumModules(); ++m) {
+          const SimTime now = static_cast<SimTime>(local % 7) * 100 * kUsPerMs;
+          req.sent = now;
+          req.deadline = req.sent + req.slo;
+          AdmissionContext ctx;
+          ctx.request = &req;
+          ctx.module_id = m;
+          ctx.now = now;
+          ctx.batch_start = now;
+          ctx.batch_duration = 10 * kUsPerMs;
+          ctx.batch_size = 4;
+          plane.ShouldDrop(ctx);
+          plane.ChoosePopSide(m, now);
+          plane.AdmitAtModule(req, m, now);
+          ++local;
+        }
+      }
+      decisions.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  Rng rng(66);
+  const std::uint64_t epoch_before = plane.SnapshotEpoch();
+  for (int round = 0; round < 50; ++round) {
+    const ControlPlane::SyncStats stats =
+        plane.Sync(RefreshWarmStates(lv.NumModules(), round % 5, &rng),
+                   (round + 1) * 100 * kUsPerMs);
+    EXPECT_TRUE(stats.off_lock);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  readers.Join();
+  EXPECT_EQ(plane.SnapshotEpoch(), epoch_before + 50);
+  EXPECT_GT(decisions.load(), 0u);
 }
 
 }  // namespace

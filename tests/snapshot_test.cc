@@ -205,13 +205,20 @@ TEST(ControlPlaneSnapshot, PardRunsLockFreeAndEpochAdvancesPerSync) {
 
 // The snapshot read path must make the same drop decisions as the policy's
 // locked path against the same published state — sharding may not change
-// semantics, only contention.
+// semantics, only contention. Pinned on the deterministic upper-bound wait
+// mode: the sweet-spot Monte-Carlo term intentionally diverges bit-wise
+// between the paths (the snapshot path refreshes from per-module forked
+// streams, the locked path from the lazy shared stream — statistically
+// equivalent, covered by estimator_test's refresh suite), so exact parity
+// is only meaningful where the estimate is RNG-free.
 TEST(ControlPlaneSnapshot, SnapshotDecisionsMatchLockedFallback) {
   const PipelineSpec lv = MakeLiveVideo();
   StateBoard board_free(lv.NumModules());
   StateBoard board_locked(lv.NumModules());
-  PardPolicy policy_free;
-  PardPolicy policy_locked;
+  PardOptions upper;
+  upper.estimator.wait_mode = EstimatorOptions::WaitMode::kUpper;
+  PardPolicy policy_free(upper);
+  PardPolicy policy_locked(upper);
   ControlPlane::Options locked_options;
   locked_options.force_locked = true;
   ControlPlane free_plane(&lv, &policy_free, &board_free);

@@ -119,8 +119,12 @@ std::string FileLabel(const std::string& path) {
 // with a "DRIFT:" line after the table. Informational only (exit stays 0):
 // a human decides whether the trend is intentional, but CI logs make it
 // impossible to miss.
+std::string RenderHistoryHtml(const std::vector<std::map<std::string, BenchRow>>& reports,
+                              const std::vector<std::string>& labels);
+
 int RenderHistory(const std::vector<std::string>& paths, const std::string& report_path,
-                  double step_threshold, double drift_threshold) {
+                  const std::string& html_path, double step_threshold,
+                  double drift_threshold) {
   std::vector<std::map<std::string, BenchRow>> reports;
   std::vector<std::string> labels;
   try {
@@ -251,7 +255,171 @@ int RenderHistory(const std::vector<std::string>& paths, const std::string& repo
     std::fwrite(table.data(), 1, table.size(), out);
     std::fclose(out);
   }
+  if (!html_path.empty()) {
+    const std::string html = RenderHistoryHtml(reports, labels);
+    FILE* out = std::fopen(html_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", html_path.c_str());
+      return 2;
+    }
+    std::fwrite(html.data(), 1, html.size(), out);
+    std::fclose(out);
+  }
   return 0;
+}
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// --history --html: a standalone HTML/inline-SVG chart of the same series
+// the markdown table tabulates. Each benchmark is one polyline of its cpu
+// time normalized to its first present report (log2 y-axis, so a 2x
+// speedup and a 2x regression are symmetric around the 1.0x gridline); the
+// legend carries the final ratio. Self-contained by construction — no
+// scripts, no external assets — so CI can upload the file as-is.
+std::string RenderHistoryHtml(const std::vector<std::map<std::string, BenchRow>>& reports,
+                              const std::vector<std::string>& labels) {
+  // Series: benchmark -> per-report normalized ratio (NaN = missing).
+  std::map<std::string, bool> names;
+  for (const auto& report : reports) {
+    for (const auto& [name, row] : report) {
+      (void)row;
+      names[name] = true;
+    }
+  }
+  struct Series {
+    std::string name;
+    std::vector<double> ratio;  // log2(value / first present value)
+    double final_ratio = 1.0;
+  };
+  std::vector<Series> series;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& [name, present] : names) {
+    (void)present;
+    Series s;
+    s.name = name;
+    double first = 0.0;
+    double last = 0.0;
+    for (const auto& report : reports) {
+      const auto it = report.find(name);
+      if (it == report.end() || it->second.cpu_time_ns <= 0.0) {
+        s.ratio.push_back(std::nan(""));
+        continue;
+      }
+      if (first <= 0.0) {
+        first = it->second.cpu_time_ns;
+      }
+      last = it->second.cpu_time_ns;
+      const double r = std::log2(it->second.cpu_time_ns / first);
+      s.ratio.push_back(r);
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    if (first > 0.0) {
+      s.final_ratio = last / first;
+      series.push_back(std::move(s));
+    }
+  }
+  lo -= 0.2;
+  hi += 0.2;
+
+  // Layout: fixed plot box, legend below. Colors cycle a 12-hue palette.
+  const double kW = 960.0, kH = 420.0, kL = 70.0, kR = 30.0, kT = 30.0, kB = 50.0;
+  const double plot_w = kW - kL - kR;
+  const double plot_h = kH - kT - kB;
+  const std::size_t n = reports.size();
+  const auto x_at = [&](std::size_t i) {
+    return kL + (n > 1 ? plot_w * static_cast<double>(i) / static_cast<double>(n - 1)
+                       : plot_w / 2.0);
+  };
+  const auto y_at = [&](double r) { return kT + plot_h * (hi - r) / (hi - lo); };
+  static const char* kPalette[] = {"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+                                   "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+                                   "#bcbd22", "#17becf", "#aec7e8", "#ffbb78"};
+  const std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+  std::string svg = pard::StrFormat(
+      "<svg viewBox=\"0 0 %.0f %.0f\" xmlns=\"http://www.w3.org/2000/svg\" "
+      "font-family=\"sans-serif\" font-size=\"12\">\n",
+      kW, kH);
+  // Horizontal gridlines at power-of-two ratios inside [lo, hi].
+  for (int p = static_cast<int>(std::floor(lo)); p <= static_cast<int>(std::ceil(hi)); ++p) {
+    const double r = static_cast<double>(p);
+    if (r < lo || r > hi) {
+      continue;
+    }
+    const double y = y_at(r);
+    svg += pard::StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" "
+        "stroke-width=\"1\"/>\n",
+        kL, y, kW - kR, y, p == 0 ? "#999" : "#ddd");
+    svg += pard::StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" fill=\"#555\">%gx</text>\n",
+        kL - 8.0, y + 4.0, std::exp2(r));
+  }
+  // X labels (report names).
+  for (std::size_t i = 0; i < n; ++i) {
+    svg += pard::StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" fill=\"#555\">%s</text>\n",
+        x_at(i), kH - kB + 20.0, HtmlEscape(labels[i]).c_str());
+  }
+  // One polyline per benchmark (gaps break the line into segments).
+  std::string legend = "<table style=\"border-collapse:collapse\">\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const char* color = kPalette[si % kPaletteSize];
+    std::string points;
+    for (std::size_t i = 0; i < s.ratio.size(); ++i) {
+      if (std::isnan(s.ratio[i])) {
+        if (!points.empty()) {
+          svg += "<polyline fill=\"none\" stroke=\"" + std::string(color) +
+                 "\" stroke-width=\"1.5\" points=\"" + points + "\"/>\n";
+          points.clear();
+        }
+        continue;
+      }
+      points += pard::StrFormat("%.1f,%.1f ", x_at(i), y_at(s.ratio[i]));
+      svg += pard::StrFormat(
+          "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"/>\n", x_at(i),
+          y_at(s.ratio[i]), color);
+    }
+    if (!points.empty()) {
+      svg += "<polyline fill=\"none\" stroke=\"" + std::string(color) +
+             "\" stroke-width=\"1.5\" points=\"" + points + "\"/>\n";
+    }
+    legend += pard::StrFormat(
+        "<tr><td style=\"padding:2px 8px\"><span style=\"display:inline-block;width:12px;"
+        "height:12px;background:%s\"></span></td><td style=\"padding:2px 8px\"><code>%s</code>"
+        "</td><td style=\"padding:2px 8px;text-align:right\">%.3fx</td></tr>\n",
+        color, HtmlEscape(s.name).c_str(), s.final_ratio);
+  }
+  legend += "</table>\n";
+  svg += "</svg>\n";
+
+  std::string html =
+      "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+      "<title>Perf trajectory</title>\n</head>\n<body style=\"font-family:sans-serif;"
+      "max-width:1000px;margin:2em auto\">\n"
+      "<h1>Perf trajectory</h1>\n"
+      "<p>Per-iteration cpu time of every benchmark across the checked-in baseline\n"
+      "series, normalized to the benchmark's first appearance (log<sub>2</sub> scale:\n"
+      "below the 1x line is faster, above is slower). Final column of the legend is\n"
+      "newest/first. The markdown table artifact carries the raw numbers.</p>\n" +
+      svg + "<h2>Legend (final ratio)</h2>\n" + legend + "</body>\n</html>\n";
+  return html;
 }
 
 }  // namespace
@@ -270,6 +438,9 @@ int main(int argc, char** argv) {
   flags.AddBool("history", false,
                 "render the given reports (oldest first, e.g. the bench/BENCH_PR*.json "
                 "series) as a markdown trajectory table instead of gating");
+  flags.AddString("html", "",
+                  "--history: also write a standalone HTML/SVG chart of the series "
+                  "(normalized per-benchmark polylines) to this file");
   try {
     flags.Parse(argc - 1, argv + 1);
   } catch (const pard::CheckError& e) {
@@ -289,7 +460,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RenderHistory(flags.positional(), flags.GetString("report"),
-                         flags.GetDouble("threshold"), drift);
+                         flags.GetString("html"), flags.GetDouble("threshold"), drift);
   }
   if (flags.HelpRequested() || flags.positional().size() != 2) {
     std::printf("%s", flags.Usage("bench_compare <baseline.json> <current.json>").c_str());
